@@ -1,0 +1,89 @@
+"""§5 power — the Thunderbolt-NIC testbed readings, reproduced.
+
+The paper measured 3.800 W (bare NIC), 4.693 W (+ standard SFP under
+line-rate stress) and 5.320 W (+ FlexSFP running the NAT).  This bench
+regenerates the series from the activity-based power model and extends it
+with an activity sweep (idle → line rate) and a per-application power
+comparison at line rate.
+"""
+
+import pytest
+
+from common import report
+from repro.apps import APP_FACTORIES, create_app
+from repro.core import ShellSpec
+from repro.hls import compile_app
+from repro.testbed import PowerTestbed, flexsfp_power_w
+
+PAPER_SERIES = {"NIC (no SFP)": 3.800, "NIC + SFP": 4.693, "NIC + FlexSFP": 5.320}
+KEY_APPS = ("passthrough", "nat", "firewall", "telemetry", "loadbalancer")
+
+
+def compute():
+    nat_build = compile_app(create_app("nat"), ShellSpec())
+    testbed = PowerTestbed()
+    series = testbed.paper_series(
+        nat_build.report.total, nat_build.report.timing.clock_hz
+    )
+    sweep = [
+        (
+            activity,
+            testbed.measure_flexsfp(
+                nat_build.report.total, nat_build.report.timing.clock_hz, activity
+            ).watts,
+        )
+        for activity in (0.0, 0.25, 0.5, 0.75, 1.0)
+    ]
+    per_app = []
+    for name in KEY_APPS:
+        build = compile_app(create_app(name), ShellSpec())
+        per_app.append(
+            (
+                name,
+                flexsfp_power_w(
+                    build.report.total, build.report.timing.clock_hz, activity=1.0
+                ),
+            )
+        )
+    return series, sweep, per_app
+
+
+def test_power_measurement(benchmark):
+    series, sweep, per_app = benchmark.pedantic(compute, rounds=3, iterations=1)
+    report(
+        "§5 power: testbed series (line-rate RX+TX stress)",
+        ("configuration", "measured W", "paper W", "delta"),
+        [
+            (
+                s.label,
+                f"{s.watts:.3f}",
+                f"{PAPER_SERIES[s.label]:.3f}",
+                f"{s.watts - PAPER_SERIES[s.label]:+.3f}",
+            )
+            for s in series
+        ],
+    )
+    report(
+        "FlexSFP module power vs traffic activity (NAT design)",
+        ("activity", "total W"),
+        [(f"{a:.0%}", f"{w:.3f}") for a, w in sweep],
+    )
+    report(
+        "FlexSFP module power by application (at line rate)",
+        ("application", "module W"),
+        [(name, f"{w:.3f}") for name, w in per_app],
+    )
+
+    # Absolute readings within 25 mW of the paper.
+    for sample in series:
+        assert sample.watts == pytest.approx(PAPER_SERIES[sample.label], abs=0.025)
+    # Deltas: ~0.9 W for the plain SFP, ~0.63 W more for the FlexSFP.
+    bare, sfp, flex = series
+    assert sfp.watts - bare.watts == pytest.approx(0.893, abs=0.02)
+    assert flex.watts - sfp.watts == pytest.approx(0.63, abs=0.05)
+    # Power grows monotonically with activity and stays in the 1-3 W
+    # transceiver envelope (§2) for every application.
+    watts = [w for _, w in sweep]
+    assert watts == sorted(watts)
+    for name, module_w in per_app:
+        assert 1.0 <= module_w <= 3.0, (name, module_w)

@@ -1,0 +1,71 @@
+"""Table 1 — resource usage of the NAT case study, by design component.
+
+Regenerates the paper's component breakdown (Mi-V, electrical interface,
+optical interface, NAT application, totals, availability, utilization) by
+running the build flow on the NAT application at the prototype operating
+point (One-Way-Filter shell, MPF200T, 64-bit datapath @ 156.25 MHz).
+"""
+
+import pytest
+
+from common import fmt_pct, report
+from repro.apps import StaticNat
+from repro.core import ShellSpec
+from repro.fpga import MPF200T
+from repro.hls import compile_app
+
+# Paper Table 1 reference values: name -> (4LUT, FF, uSRAM, LSRAM).
+PAPER_ROWS = {
+    "Mi-V": (8_696, 376, 6, 4),
+    "Elec. I/F": (6_824, 6_924, 118, 0),
+    "Opt. I/F": (6_813, 6_924, 118, 0),
+    "nat app": (9_122, 11_294, 36, 160),
+    "Used": (31_455, 25_518, 278, 164),
+}
+PAPER_UTIL = {"lut4": 0.16, "ff": 0.13, "usram": 0.15, "lsram": 0.26}
+
+
+def build_nat():
+    return compile_app(StaticNat(), ShellSpec(), device=MPF200T)
+
+
+def test_table1_nat_resources(benchmark):
+    result = benchmark.pedantic(build_nat, rounds=3, iterations=1)
+    rows = result.report.table1_rows()
+
+    display = []
+    for name, lut4, ff, usram, lsram in rows:
+        paper = PAPER_ROWS.get(name)
+        delta = (
+            f"{(lut4 - paper[0]) / paper[0]:+.1%}" if paper and paper[0] else "-"
+        )
+        display.append((name, lut4, ff, usram, lsram, delta))
+    util = result.report.utilization
+    display.append(
+        (
+            "Perc.",
+            fmt_pct(util["lut4"]),
+            fmt_pct(util["ff"]),
+            fmt_pct(util["usram"]),
+            fmt_pct(util["lsram"]),
+            "",
+        )
+    )
+    report(
+        "Table 1: NAT case-study resource usage (MPF200T)",
+        ("component", "4LUT", "FF", "uSRAM", "LSRAM", "dLUT vs paper"),
+        display,
+    )
+
+    # Shape assertions: every row within 10% of the paper on logic, exact
+    # on memory blocks; utilization within 2 points of the published row.
+    by_name = {row[0]: row[1:] for row in rows}
+    for name, (lut4, ff, usram, lsram) in PAPER_ROWS.items():
+        got = by_name[name]
+        assert abs(got[0] - lut4) <= max(0.10 * lut4, 1), name
+        assert abs(got[1] - ff) <= max(0.10 * ff, 1), name
+        assert got[2] == usram and got[3] == lsram, name
+    for key, value in PAPER_UTIL.items():
+        assert util[key] == pytest.approx(value, abs=0.02), key
+    assert result.report.timing.clock_hz == 156.25e6
+    assert result.report.meets_timing

@@ -1,0 +1,53 @@
+"""Table 2 — FPGA resource usage of key designs vs the FlexSFP budget.
+
+Normalizes the four published designs (FlowBlaze stage, Pigasus, hXDP
+core, ClickNP IPSec GW) to 4-input LE equivalents (LUT6 ≈ 1.6 LE,
+ALM ≈ 2 LE) and checks which could plausibly fit the MPF200T — the paper's
+order-of-magnitude feasibility argument.
+"""
+
+from common import report
+from repro.fpga import MPF200T, table2_rows
+
+# Paper Table 2 normalized logic (approximate LE equivalents).
+PAPER_LE = {
+    "FlowBlaze (1 stage)": 115_000,
+    "Pigasus": 416_000,
+    "hXDP (1 core)": 109_000,
+    "ClickNP IPSec GW": 388_000,
+    "FlexSFP (MPF200T)": 192_000,
+}
+
+
+def test_table2_literature_fit(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=3, iterations=1)
+    display = [
+        (
+            row["name"],
+            f"{row['logic_le']:,.0f}",
+            f"{row['bram_kbit']:,.0f}",
+            f"{row['logic_ratio']:.2f}x",
+            f"{row['bram_ratio']:.2f}x",
+            row["fit_class"],
+        )
+        for row in rows
+    ]
+    report(
+        "Table 2: literature designs normalized to LE / BRAM kbit vs MPF200T",
+        ("design", "logic (LE)", "BRAM (kbit)", "logic ratio", "BRAM ratio", "verdict"),
+        display,
+    )
+
+    by_name = {row["name"]: row for row in rows}
+    # Normalized LE within 1% of the paper's quoted approximations.
+    for name, le in PAPER_LE.items():
+        assert abs(by_name[name]["logic_le"] - le) <= 0.01 * le, name
+    # Shape: hXDP fits outright; FlowBlaze is logic-fit but BRAM-marginal;
+    # the 100G-class designs (Pigasus, ClickNP) are several times over.
+    assert by_name["hXDP (1 core)"]["fit_class"] == "fits"
+    assert by_name["FlowBlaze (1 stage)"]["fit_class"] == "marginal"
+    assert by_name["FlowBlaze (1 stage)"]["logic_ratio"] < 1.0
+    assert by_name["Pigasus"]["logic_ratio"] > 2.0
+    assert by_name["ClickNP IPSec GW"]["logic_ratio"] > 2.0
+    assert by_name["Pigasus"]["fit_class"] == "exceeds"
+    assert MPF200T.sram_kbit > 13_000

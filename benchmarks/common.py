@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the rows/series the paper reports (via ``report``) and
+asserts the *shape* of the result — who wins, by roughly what factor —
+rather than exact figures (see EXPERIMENTS.md for the calibration story).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def report(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format and print a fixed-width results table; returns the text."""
+    columns = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = ["", f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(columns[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(columns[i]) for i, cell in enumerate(row))
+        )
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def fmt_band(band: tuple[float, float], digits: int = 0) -> str:
+    low, high = band
+    return f"{low:.{digits}f}-{high:.{digits}f}"
+
+
+def fmt_pct(fraction: float) -> str:
+    return f"{fraction:.0%}"

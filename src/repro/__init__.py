@@ -1,0 +1,91 @@
+"""FlexSFP: network intelligence inside the cable — a Python reproduction.
+
+A simulation and feasibility toolkit for programmable SFP+ transceivers,
+reproducing the FlexSFP paper (HotNets '25):
+
+* :mod:`repro.packet` — wire-format substrate (headers, checksums, pcap).
+* :mod:`repro.sim` — discrete-event engine, ports/links, Ethernet math.
+* :mod:`repro.fpga` — resource vectors, device catalog, synthesis cost
+  model, timing closure, bitstreams, SPI flash.
+* :mod:`repro.core` — the FlexSFP module: shells, PPE runtime, tables,
+  embedded control plane, over-the-network reprogramming.
+* :mod:`repro.hls` — the programming model: XDP-like front end, pipeline
+  IR, build flow.
+* :mod:`repro.apps` — the §3 use-case applications (NAT, firewall, VLAN,
+  tunnels, load balancing, rate limiting, telemetry, INT, DNS filtering,
+  sanitization).
+* :mod:`repro.switch` — legacy switch + retrofit machinery.
+* :mod:`repro.netem` — workload generation.
+* :mod:`repro.costmodel` / :mod:`repro.testbed` — Table 3 economics and
+  the §5 power testbed.
+
+Quick start::
+
+    from repro.sim import Simulator, Port, connect
+    from repro.core import FlexSFPModule
+    from repro.apps import StaticNat
+
+    sim = Simulator()
+    nat = StaticNat()
+    nat.add_mapping("10.0.0.1", "198.51.100.1")
+    module = FlexSFPModule(sim, "sfp0", nat)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    apps,
+    core,
+    costmodel,
+    fleet,
+    fpga,
+    hls,
+    netem,
+    packet,
+    sim,
+    switch,
+    testbed,
+)
+from .errors import (
+    BitstreamError,
+    CompileError,
+    ConfigError,
+    ControlPlaneError,
+    FlashError,
+    PacketError,
+    ParseError,
+    ReproError,
+    ResourceError,
+    SerializationError,
+    SimulationError,
+    TableError,
+    TimingError,
+)
+
+__all__ = [
+    "BitstreamError",
+    "CompileError",
+    "ConfigError",
+    "ControlPlaneError",
+    "FlashError",
+    "PacketError",
+    "ParseError",
+    "ReproError",
+    "ResourceError",
+    "SerializationError",
+    "SimulationError",
+    "TableError",
+    "TimingError",
+    "__version__",
+    "apps",
+    "core",
+    "costmodel",
+    "fleet",
+    "fpga",
+    "hls",
+    "netem",
+    "packet",
+    "sim",
+    "switch",
+    "testbed",
+]

@@ -1,0 +1,102 @@
+"""Small shared helpers: address coercion/formatting and bit math.
+
+The packet headers store addresses as plain integers for fast packing; these
+helpers convert between human-readable notations and the integer forms, and
+provide the handful of bit-twiddling utilities used across the toolkit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+
+def mac_to_int(mac: str | int) -> int:
+    """Coerce a MAC address (``aa:bb:cc:dd:ee:ff`` or int) to a 48-bit int."""
+    if isinstance(mac, int):
+        if not 0 <= mac < (1 << 48):
+            raise ConfigError(f"MAC integer out of range: {mac:#x}")
+        return mac
+    if not _MAC_RE.match(mac):
+        raise ConfigError(f"invalid MAC address: {mac!r}")
+    return int(mac.replace("-", ":").replace(":", ""), 16)
+
+
+def int_to_mac(value: int) -> str:
+    """Format a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    if not 0 <= value < (1 << 48):
+        raise ConfigError(f"MAC integer out of range: {value:#x}")
+    raw = value.to_bytes(6, "big")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+def ip_to_int(ip: str | int) -> int:
+    """Coerce an IPv4 address (dotted quad or int) to a 32-bit int."""
+    if isinstance(ip, int):
+        if not 0 <= ip < (1 << 32):
+            raise ConfigError(f"IPv4 integer out of range: {ip:#x}")
+        return ip
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ConfigError(f"invalid IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ConfigError(f"invalid IPv4 address: {ip!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ConfigError(f"invalid IPv4 address: {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted quad."""
+    if not 0 <= value < (1 << 32):
+        raise ConfigError(f"IPv4 integer out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip6_to_int(ip: str | int) -> int:
+    """Coerce an IPv6 address (RFC 4291 text or int) to a 128-bit int."""
+    if isinstance(ip, int):
+        if not 0 <= ip < (1 << 128):
+            raise ConfigError(f"IPv6 integer out of range: {ip:#x}")
+        return ip
+    import ipaddress
+
+    try:
+        return int(ipaddress.IPv6Address(ip))
+    except ValueError as exc:
+        raise ConfigError(f"invalid IPv6 address: {ip!r}") from exc
+
+
+def int_to_ip6(value: int) -> str:
+    """Format a 128-bit integer in canonical RFC 5952 IPv6 notation."""
+    import ipaddress
+
+    if not 0 <= value < (1 << 128):
+        raise ConfigError(f"IPv6 integer out of range: {value:#x}")
+    return str(ipaddress.IPv6Address(value))
+
+
+def check_range(name: str, value: int, bits: int) -> int:
+    """Validate that ``value`` fits in an unsigned ``bits``-wide field."""
+    if not 0 <= value < (1 << bits):
+        raise ConfigError(f"{name} out of range for {bits}-bit field: {value}")
+    return value
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division (used pervasively by resource models)."""
+    if denominator <= 0:
+        raise ConfigError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    return max(low, min(high, value))

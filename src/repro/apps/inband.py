@@ -1,0 +1,169 @@
+"""In-band network telemetry: INT source / transit / sink roles (§3).
+
+"A FlexSFP could … insert lightweight metadata for in-band measurements,
+similar to what has been demonstrated in in-band network telemetry (INT)."
+Three deployable roles share one application class:
+
+* ``source`` — inserts the INT shim after Ethernet and pushes this hop.
+* ``transit`` — pushes a hop record onto packets that already carry a shim.
+* ``sink`` — pops the shim, restores the original EtherType, and exports
+  the collected hop stack to a collector via ``ctx.emit``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.ppe import PPEApplication, PPEContext, Verdict
+from ..errors import ConfigError
+from ..hls.ir import PipelineSpec, Stage, StageKind
+from ..packet import (
+    EtherType,
+    INTHop,
+    INTShim,
+    Packet,
+    UDPPort,
+    make_udp,
+)
+
+ROLES = ("source", "transit", "sink")
+
+_REPORT_HEADER = struct.Struct("!HHI")  # version, hop_count, device_id
+REPORT_VERSION = 1
+
+
+def pack_report(device_id: int, hops: list[INTHop]) -> bytes:
+    """Serialize a sink report datagram."""
+    return _REPORT_HEADER.pack(REPORT_VERSION, len(hops), device_id) + b"".join(
+        hop.pack() for hop in hops
+    )
+
+
+def unpack_report(payload: bytes) -> tuple[int, list[INTHop]]:
+    """Inverse of :func:`pack_report`: (device_id, hops)."""
+    version, count, device_id = _REPORT_HEADER.unpack_from(payload, 0)
+    if version != REPORT_VERSION:
+        raise ConfigError(f"unknown INT report version {version}")
+    hops = [
+        INTHop.unpack_from(memoryview(payload), _REPORT_HEADER.size + i * INTHop.WIRE_LEN)
+        for i in range(count)
+    ]
+    return device_id, hops
+
+
+class InbandTelemetry(PPEApplication):
+    """INT source/transit/sink packet function."""
+
+    name = "int"
+
+    def __init__(
+        self,
+        role: str = "source",
+        max_hops: int = 8,
+        collector_ip: str = "203.0.113.10",
+        exporter_ip: str = "203.0.113.2",
+        only_direction: str | None = "edge->line",
+    ) -> None:
+        super().__init__()
+        if role not in ROLES:
+            raise ConfigError(f"unknown INT role {role!r}; pick from {ROLES}")
+        self.role = role
+        self.max_hops = max_hops
+        self.collector_ip = collector_ip
+        self.exporter_ip = exporter_ip
+        self.only_direction = only_direction
+        self.reports_sent = 0
+
+    def _applies(self, ctx: PPEContext) -> bool:
+        return (
+            self.only_direction is None
+            or ctx.direction.value == self.only_direction
+        )
+
+    def _hop(self, ctx: PPEContext) -> INTHop:
+        ingress_ns = ctx.time_ns
+        return INTHop(
+            device_id=ctx.device_id,
+            queue_depth=min(ctx.queue_depth, 0xFFFF),
+            latency_ns=0,
+            ingress_ts_ns=ingress_ns,
+        )
+
+    def process(self, packet: Packet, ctx: PPEContext) -> Verdict:
+        if not self._applies(ctx):
+            return Verdict.PASS
+        if self.role == "source":
+            return self._source(packet, ctx)
+        if self.role == "transit":
+            return self._transit(packet, ctx)
+        return self._sink(packet, ctx)
+
+    def _source(self, packet: Packet, ctx: PPEContext) -> Verdict:
+        eth = packet.eth
+        if eth is None or packet.get(INTShim) is not None:
+            return Verdict.PASS
+        shim = INTShim(next_ethertype=eth.ethertype, max_hops=self.max_hops)
+        shim.push_hop(self._hop(ctx))
+        eth.ethertype = EtherType.INT_SHIM
+        packet.insert_after(eth, shim)
+        self.counter("inserted").count(packet.wire_len)
+        return Verdict.PASS
+
+    def _transit(self, packet: Packet, ctx: PPEContext) -> Verdict:
+        shim = packet.get(INTShim)
+        if shim is None:
+            return Verdict.PASS
+        if shim.push_hop(self._hop(ctx)):
+            self.counter("pushed").count(packet.wire_len)
+        else:
+            self.counter("stack_full").count(packet.wire_len)
+        return Verdict.PASS
+
+    def _sink(self, packet: Packet, ctx: PPEContext) -> Verdict:
+        shim = packet.get(INTShim)
+        eth = packet.eth
+        if shim is None or eth is None:
+            return Verdict.PASS
+        hops = list(shim.hops)
+        eth.ethertype = shim.next_ethertype
+        packet.remove(shim)
+        report = make_udp(
+            src_ip=self.exporter_ip,
+            dst_ip=self.collector_ip,
+            sport=UDPPort.INT_COLLECTOR,
+            dport=UDPPort.INT_COLLECTOR,
+            payload=pack_report(ctx.device_id, hops),
+        )
+        # The report follows the monitored traffic so it reaches the
+        # collector behind the sink's egress side.
+        ctx.emit(report, ctx.direction)
+        self.reports_sent += 1
+        self.counter("terminated").count(packet.wire_len)
+        return Verdict.PASS
+
+    def pipeline_spec(self) -> PipelineSpec:
+        # Shim insertion/removal rewrites 4 B shim + 16 B hop + ethertype.
+        return PipelineSpec(
+            name=self.name,
+            description=f"in-band telemetry ({self.role})",
+            stages=[
+                Stage("parse", StageKind.PARSER, {"header_bytes": 54}),
+                Stage("ts", StageKind.TIMESTAMP, {}),
+                Stage("edit", StageKind.ACTION, {"rewrite_bits": (4 + 16) * 8 + 16}),
+                Stage(
+                    "buffer",
+                    StageKind.FIFO,
+                    {"depth_bytes": 2 * 1538, "metadata_bits": 128},
+                ),
+                Stage("deparse", StageKind.DEPARSER, {"header_bytes": 54}),
+            ],
+        )
+
+    def config(self) -> dict:
+        return {
+            "role": self.role,
+            "max_hops": self.max_hops,
+            "collector_ip": self.collector_ip,
+            "exporter_ip": self.exporter_ip,
+            "only_direction": self.only_direction,
+        }

@@ -1,0 +1,299 @@
+"""Command-line interface: feasibility reports from the terminal.
+
+``python -m repro.cli <command>`` (or the ``flexsfp`` console script)
+exposes the toolkit's analysis surface without writing any code:
+
+* ``apps`` / ``devices`` — what can be built, and on what.
+* ``build APP`` — run the build flow, print the Table-1-style report.
+* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables.
+* ``power`` — the §5 power series for a deployed application.
+* ``bom`` — the FlexSFP cost breakdown at a production volume.
+* ``scale GBPS`` — plan an operating point for a target line rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import APP_FACTORIES, create_app
+from .core.shells import ControlPlaneClass, ShellKind, ShellSpec
+from .costmodel import FlexSfpBom, table3_rows
+from .errors import ConfigError, ReproError
+from .fpga import (
+    DEVICES,
+    FORM_FACTORS,
+    TimingSpec,
+    envelope_check,
+    get_device,
+    table2_rows,
+)
+from .hls import compile_app
+from .testbed import PowerTestbed
+
+_SHELLS = {kind.value: kind for kind in ShellKind}
+
+
+def _print_rows(headers: tuple[str, ...], rows: list[tuple]) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+
+
+def _shell_from_args(args: argparse.Namespace) -> ShellSpec:
+    return ShellSpec(
+        kind=_SHELLS[args.shell],
+        line_rate_bps=args.rate * 1e9,
+        datapath_bits=args.width,
+        control_plane=(
+            ControlPlaneClass.SOC if getattr(args, "soc", False) else ControlPlaneClass.SOFTCORE
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_apps(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(APP_FACTORIES):
+        app = create_app(name)
+        spec = app.pipeline_spec()
+        rows.append((name, spec.chain_depth, spec.pipeline_depth, spec.description))
+    _print_rows(("application", "chain", "stages", "description"), rows)
+    return 0
+
+
+def cmd_devices(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            d.name,
+            f"{d.logic_elements:,}",
+            f"{d.lut4:,}",
+            d.usram,
+            d.lsram,
+            f"{d.sram_kbit / 1024:.1f} Mb",
+            f"${d.unit_price_usd:.0f}",
+        )
+        for d in DEVICES.values()
+    ]
+    _print_rows(("device", "LE", "4LUT", "uSRAM", "LSRAM", "SRAM", "price"), rows)
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    app = create_app(args.app)
+    shell = _shell_from_args(args)
+    device = get_device(args.device)
+    clock_hz = args.clock * 1e6 if args.clock else None
+    result = compile_app(app, shell, device=device, clock_hz=clock_hz, strict=False)
+    report = result.report
+    print(
+        f"{args.app} on {device.name} / {shell.kind.value}: "
+        f"{report.timing.datapath_bits} b @ {report.timing.clock_hz / 1e6:.2f} MHz"
+    )
+    _print_rows(
+        ("component", "4LUT", "FF", "uSRAM", "LSRAM"),
+        [tuple(row) for row in report.table1_rows()],
+    )
+    util = ", ".join(f"{k} {v:.0%}" for k, v in report.utilization.items())
+    print(f"utilization: {util}")
+    print(f"fits: {report.fits}   meets timing: {report.meets_timing}")
+    for note in report.notes:
+        print(f"note: {note}")
+    return 0 if report.fits and report.meets_timing else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    args.app = "nat"
+    args.device = "MPF200T"
+    args.clock = None
+    return cmd_build(args)
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            r["name"],
+            f"{r['logic_le']:,.0f}",
+            f"{r['bram_kbit']:,.0f}",
+            r["fit_class"],
+        )
+        for r in table2_rows()
+    ]
+    _print_rows(("design", "logic (LE)", "BRAM (kbit)", "verdict"), rows)
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            r["solution"],
+            f"{r['raw_usd'][0]:.0f}-{r['raw_usd'][1]:.0f}",
+            r["raw_w"],
+            f"{r['usd_per_10g'][0]:.0f}-{r['usd_per_10g'][1]:.0f}",
+            r["w_per_10g"],
+        )
+        for r in table3_rows(units=args.units)
+    ]
+    _print_rows(("solution", "raw $", "raw W", "$/10G", "W/10G"), rows)
+    return 0
+
+
+def cmd_power(args: argparse.Namespace) -> int:
+    app = create_app(args.app)
+    build = compile_app(app, ShellSpec())
+    testbed = PowerTestbed()
+    samples = testbed.paper_series(build.report.total, build.report.timing.clock_hz)
+    _print_rows(
+        ("configuration", "watts"),
+        [(s.label, f"{s.watts:.3f}") for s in samples],
+    )
+    return 0
+
+
+def cmd_bom(args: argparse.Namespace) -> int:
+    bom = FlexSfpBom()
+    rows = [
+        (r["item"], r["low_usd"], r["high_usd"], f"{r['share_of_high']:.0%}")
+        for r in bom.breakdown(args.units)
+    ]
+    _print_rows(("item", "low $", "high $", "share"), rows)
+    low, high = bom.total_range(args.units)
+    print(f"total at {args.units:,} units: ${low:.0f}-{high:.0f}")
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    line_rate = args.gbps * 1e9
+    clocks = (156.25e6, 200e6, 250e6, 312.5e6, 400e6)
+    candidates = []
+    for clock in clocks:
+        width = 8
+        while width <= 2048:
+            _, sustained = TimingSpec(width, clock).worst_case_frame(line_rate)
+            if sustained:
+                # Tie-break toward the lower clock (the prototype's choice:
+                # 64 b @ 156.25 MHz rather than 32 b @ 312.5 MHz).
+                candidates.append((width * clock, clock, width))
+                break
+            width *= 2
+    if not candidates:
+        print(f"no single-pipeline operating point sustains {args.gbps:.0f} Gbps")
+        return 1
+    _, clock, width = min(candidates)
+    print(
+        f"{args.gbps:.0f} Gbps -> {width} b datapath @ {clock / 1e6:.2f} MHz "
+        f"(raw {width * clock / 1e9:.1f} Gbps)"
+    )
+    return 0
+
+
+def cmd_envelope(args: argparse.Namespace) -> int:
+    app = create_app(args.app)
+    shell = ShellSpec(
+        line_rate_bps=args.gbps * 1e9, datapath_bits=args.width
+    )
+    clock_hz = args.clock * 1e6 if args.clock else None
+    build = compile_app(app, shell, clock_hz=clock_hz, strict=False)
+    rows = []
+    for form_factor in FORM_FACTORS.values():
+        try:
+            check = envelope_check(
+                form_factor,
+                args.gbps,
+                build.report.total,
+                build.report.timing.clock_hz,
+            )
+        except ConfigError:
+            rows.append((form_factor.name, "-", form_factor.power_envelope_w, "no lanes"))
+            continue
+        rows.append(
+            (
+                form_factor.name,
+                f"{check.total_w:.2f}",
+                check.envelope_w,
+                "fits" if check.fits else "over budget",
+            )
+        )
+    _print_rows(("form factor", "module W", "envelope W", "verdict"), rows)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flexsfp", description="FlexSFP feasibility toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list deployable applications").set_defaults(
+        func=cmd_apps
+    )
+    sub.add_parser("devices", help="list the FPGA device catalog").set_defaults(
+        func=cmd_devices
+    )
+
+    build = sub.add_parser("build", help="build an application, print the report")
+    build.add_argument("app", choices=sorted(APP_FACTORIES))
+    build.add_argument("--shell", choices=sorted(_SHELLS), default="one-way-filter")
+    build.add_argument("--device", default="MPF200T")
+    build.add_argument("--rate", type=float, default=10.0, help="line rate in Gbps")
+    build.add_argument("--width", type=int, default=64, help="datapath bits")
+    build.add_argument("--clock", type=float, default=None, help="PPE clock in MHz")
+    build.add_argument("--soc", action="store_true", help="SoC-class control plane")
+    build.set_defaults(func=cmd_build)
+
+    t1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    t1.add_argument("--shell", default="one-way-filter")
+    t1.add_argument("--rate", type=float, default=10.0)
+    t1.add_argument("--width", type=int, default=64)
+    t1.set_defaults(func=cmd_table1)
+    sub.add_parser("table2", help="reproduce the paper's Table 2").set_defaults(
+        func=cmd_table2
+    )
+    t3 = sub.add_parser("table3", help="reproduce the paper's Table 3")
+    t3.add_argument("--units", type=int, default=1_000)
+    t3.set_defaults(func=cmd_table3)
+
+    power = sub.add_parser("power", help="the §5 power series for an app")
+    power.add_argument("--app", choices=sorted(APP_FACTORIES), default="nat")
+    power.set_defaults(func=cmd_power)
+
+    bom = sub.add_parser("bom", help="FlexSFP cost breakdown")
+    bom.add_argument("--units", type=int, default=1_000)
+    bom.set_defaults(func=cmd_bom)
+
+    scale = sub.add_parser("scale", help="plan an operating point for a line rate")
+    scale.add_argument("gbps", type=float)
+    scale.set_defaults(func=cmd_scale)
+
+    envelope = sub.add_parser(
+        "envelope", help="check MSA power envelopes for a rate/app"
+    )
+    envelope.add_argument("gbps", type=float)
+    envelope.add_argument("--app", choices=sorted(APP_FACTORIES), default="nat")
+    envelope.add_argument("--width", type=int, default=64)
+    envelope.add_argument("--clock", type=float, default=None, help="MHz")
+    envelope.set_defaults(func=cmd_envelope)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

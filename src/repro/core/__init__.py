@@ -1,0 +1,79 @@
+"""FlexSFP core: shells, PPE runtime, tables, control plane, module."""
+
+from .arbiter import Arbiter, is_mgmt_frame
+from .controlplane import ControlPlane, ReconfigState
+from .mgmt import MgmtMessage, MgmtOp, chunk_body, mgmt_frame, parse_chunk_body
+from .module import (
+    CONTROL_PLANE_LATENCY_S,
+    DEFAULT_AUTH_KEY,
+    PASSTHROUGH_LATENCY_S,
+    RECONFIG_DOWNTIME_S,
+    TRANSCEIVER_LATENCY_S,
+    FlexSFPModule,
+)
+from .ppe import (
+    Direction,
+    PacketProcessingEngine,
+    PPEApplication,
+    PPEContext,
+    Verdict,
+)
+from .services import (
+    ArpResponder,
+    ControlPlaneService,
+    IcmpEchoResponder,
+    ServiceRegistry,
+)
+from .shells import (
+    PROTOTYPE_SHELL,
+    STANDARD_CLOCKS_HZ,
+    ControlPlaneClass,
+    ShellKind,
+    ShellSpec,
+)
+from .tables import (
+    ExactTable,
+    LPMTable,
+    Table,
+    TableRegistry,
+    TernaryEntry,
+    TernaryTable,
+)
+
+__all__ = [
+    "Arbiter",
+    "ArpResponder",
+    "CONTROL_PLANE_LATENCY_S",
+    "ControlPlane",
+    "ControlPlaneClass",
+    "ControlPlaneService",
+    "DEFAULT_AUTH_KEY",
+    "Direction",
+    "ExactTable",
+    "FlexSFPModule",
+    "IcmpEchoResponder",
+    "LPMTable",
+    "MgmtMessage",
+    "MgmtOp",
+    "PASSTHROUGH_LATENCY_S",
+    "PPEApplication",
+    "PPEContext",
+    "PROTOTYPE_SHELL",
+    "PacketProcessingEngine",
+    "RECONFIG_DOWNTIME_S",
+    "ReconfigState",
+    "STANDARD_CLOCKS_HZ",
+    "ServiceRegistry",
+    "ShellKind",
+    "ShellSpec",
+    "TRANSCEIVER_LATENCY_S",
+    "Table",
+    "TableRegistry",
+    "TernaryEntry",
+    "TernaryTable",
+    "Verdict",
+    "chunk_body",
+    "is_mgmt_frame",
+    "mgmt_frame",
+    "parse_chunk_body",
+]

@@ -1,0 +1,48 @@
+"""The on-board arbiter: control/data traffic demultiplexing.
+
+Figure 1 shows an arbiter between the edge interface, the PPE, and the
+management core: control-plane frames (EtherType 0x88B5) are steered to
+the embedded control plane, everything else to the data path, and
+control-plane responses are merged back into the egress stream.  The paper
+assumes "control-plane traffic is negligible compared to the data-plane
+traffic"; the arbiter tracks both classes so tests can check that premise.
+"""
+
+from __future__ import annotations
+
+from ..packet import EtherType, Packet
+from ..sim.stats import Counter
+
+
+def is_mgmt_frame(packet: Packet) -> bool:
+    """True when the outermost EtherType is the FlexSFP management type."""
+    eth = packet.eth
+    return eth is not None and eth.ethertype == EtherType.FLEXSFP_MGMT
+
+
+class Arbiter:
+    """Counting demux between control-plane and data-plane traffic."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.to_cpu = Counter(f"{name}.to_cpu")
+        self.to_data = Counter(f"{name}.to_data")
+        self.from_cpu = Counter(f"{name}.from_cpu")
+
+    def classify(self, packet: Packet) -> str:
+        """Classify one ingress frame: ``"cpu"`` or ``"data"``."""
+        if is_mgmt_frame(packet):
+            self.to_cpu.count(packet.wire_len)
+            return "cpu"
+        self.to_data.count(packet.wire_len)
+        return "data"
+
+    def merge_from_cpu(self, packet: Packet) -> Packet:
+        """Account a control-plane response entering the egress stream."""
+        self.from_cpu.count(packet.wire_len)
+        return packet
+
+    def control_fraction(self) -> float:
+        """Share of ingress bytes that were control-plane traffic."""
+        total = self.to_cpu.bytes + self.to_data.bytes
+        return self.to_cpu.bytes / total if total else 0.0

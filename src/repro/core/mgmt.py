@@ -1,0 +1,143 @@
+"""FlexSFP management protocol: authenticated control frames.
+
+§4.1 requires a "basic network-accessible control interface"; §4.2 adds
+over-the-network reprogramming where "the control plane authenticates
+reconfiguration packets whose payload carries a new bitstream".  This
+module defines that wire protocol: compact frames under the
+local-experimental EtherType 0x88B5, authenticated with a truncated
+HMAC-SHA256 and protected against replay by a strictly increasing sequence
+number.
+
+Frame layout (after the Ethernet header)::
+
+    magic   2 B   b"FM"
+    version 1 B
+    opcode  1 B
+    seq     4 B   big-endian, strictly increasing per session
+    length  2 B   body length
+    body    var   JSON object (control ops) or raw bytes (reconfig chunks)
+    mac    16 B   HMAC-SHA256(key, header||body)[:16]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import ControlPlaneError
+from ..packet import Ethernet, EtherType, Packet
+
+MAGIC = b"FM"
+VERSION = 1
+MAC_LEN = 16
+_HEADER = struct.Struct("!2sBBIH")
+MAX_BODY = 1200  # fits in a standard 1500-byte MTU with margin
+
+
+class MgmtOp(IntEnum):
+    """Management opcodes."""
+
+    HELLO = 1
+    ACK = 2
+    NAK = 3
+    TABLE_ADD = 10
+    TABLE_DEL = 11
+    TABLE_CLEAR = 12
+    TABLE_STATS = 13
+    COUNTER_READ = 14
+    RECONFIG_BEGIN = 20
+    RECONFIG_CHUNK = 21
+    RECONFIG_COMMIT = 22
+    BOOT_SELECT = 23
+    REBOOT = 24
+
+
+@dataclass
+class MgmtMessage:
+    """One management protocol message."""
+
+    opcode: MgmtOp
+    seq: int
+    body: bytes = b""
+
+    @classmethod
+    def control(cls, opcode: MgmtOp, seq: int, **fields: object) -> "MgmtMessage":
+        """Build a JSON-bodied control message."""
+        return cls(opcode, seq, json.dumps(fields, sort_keys=True).encode())
+
+    def json_body(self) -> dict:
+        """Decode the body as a JSON object."""
+        if not self.body:
+            return {}
+        try:
+            decoded = json.loads(self.body)
+        except ValueError as exc:
+            raise ControlPlaneError("management body is not valid JSON") from exc
+        if not isinstance(decoded, dict):
+            raise ControlPlaneError("management body must be a JSON object")
+        return decoded
+
+    def pack(self, key: bytes) -> bytes:
+        """Serialize and authenticate."""
+        if len(self.body) > MAX_BODY:
+            raise ControlPlaneError(
+                f"management body too large ({len(self.body)} B > {MAX_BODY} B)"
+            )
+        head = _HEADER.pack(MAGIC, VERSION, int(self.opcode), self.seq, len(self.body))
+        mac = hmac.new(key, head + self.body, hashlib.sha256).digest()[:MAC_LEN]
+        return head + self.body + mac
+
+    @classmethod
+    def unpack(cls, data: bytes, key: bytes) -> "MgmtMessage":
+        """Parse and verify a management payload."""
+        if len(data) < _HEADER.size + MAC_LEN:
+            raise ControlPlaneError("truncated management frame")
+        magic, version, opcode, seq, body_len = _HEADER.unpack_from(data, 0)
+        if magic != MAGIC:
+            raise ControlPlaneError("bad management magic")
+        if version != VERSION:
+            raise ControlPlaneError(f"unsupported management version {version}")
+        end = _HEADER.size + body_len
+        if len(data) < end + MAC_LEN:
+            raise ControlPlaneError("truncated management body")
+        body = bytes(data[_HEADER.size : end])
+        mac = bytes(data[end : end + MAC_LEN])
+        expected = hmac.new(key, data[:end], hashlib.sha256).digest()[:MAC_LEN]
+        if not hmac.compare_digest(mac, expected):
+            raise ControlPlaneError("management frame authentication failed")
+        try:
+            op = MgmtOp(opcode)
+        except ValueError as exc:
+            raise ControlPlaneError(f"unknown management opcode {opcode}") from exc
+        return cls(op, seq, body)
+
+
+def mgmt_frame(
+    message: MgmtMessage,
+    key: bytes,
+    src_mac: str | int,
+    dst_mac: str | int,
+) -> Packet:
+    """Wrap a management message in an Ethernet frame."""
+    return Packet(
+        [Ethernet(dst=dst_mac, src=src_mac, ethertype=EtherType.FLEXSFP_MGMT)],
+        message.pack(key),
+    )
+
+
+def chunk_body(offset: int, data: bytes) -> bytes:
+    """Body of a RECONFIG_CHUNK: 4-byte offset plus raw image bytes."""
+    if offset < 0:
+        raise ControlPlaneError("negative chunk offset")
+    return offset.to_bytes(4, "big") + data
+
+
+def parse_chunk_body(body: bytes) -> tuple[int, bytes]:
+    """Inverse of :func:`chunk_body`."""
+    if len(body) < 4:
+        raise ControlPlaneError("truncated reconfig chunk")
+    return int.from_bytes(body[:4], "big"), body[4:]

@@ -1,0 +1,325 @@
+"""The FlexSFP module: shell + PPE + control plane + flash, as one device.
+
+This is the top-level object a simulation plugs into a host NIC cage or a
+switch port.  It owns two (or three) simulated ports, an arbiter that
+demultiplexes management traffic to the embedded control plane, a
+:class:`PacketProcessingEngine` running the deployed application at its
+synthesized speed, and the SPI flash + reboot machinery that makes
+over-the-network reprogramming real.
+
+Latency constants (documented substitutes for measured silicon values):
+
+* ``TRANSCEIVER_LATENCY_S`` — one SerDes+PCS crossing (~40 ns, typical for
+  10GBASE-R retimers).
+* ``PASSTHROUGH_LATENCY_S`` — the unprocessed direction of the
+  One-Way-Filter shell (merge + retime, no PPE).
+* ``CONTROL_PLANE_LATENCY_S`` — softcore turnaround for one management
+  command (a few µs of RISC-V work).
+* ``RECONFIG_DOWNTIME_S`` — fabric reprogram time from SPI flash; the
+  module drops traffic while dark, exactly like the real device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .._util import mac_to_int
+from ..errors import ConfigError
+from ..fpga.flash import SPIFlash
+from ..fpga.resources import FPGADevice, MPF200T
+from ..packet import BROADCAST_MAC, Packet
+from ..sim.engine import Simulator
+from ..sim.link import Port
+from ..sim.stats import Counter
+from .arbiter import Arbiter
+from .controlplane import ControlPlane
+from .ppe import Direction, PacketProcessingEngine, PPEApplication, Verdict
+from .services import ServiceRegistry
+from .shells import PROTOTYPE_SHELL, ShellKind, ShellSpec
+
+TRANSCEIVER_LATENCY_S = 40e-9
+PASSTHROUGH_LATENCY_S = 25e-9
+CONTROL_PLANE_LATENCY_S = 5e-6
+RECONFIG_DOWNTIME_S = 120e-3
+
+DEFAULT_AUTH_KEY = b"flexsfp-mgmt-key"
+
+
+class FlexSFPModule:
+    """A programmable SFP+ module in the simulation.
+
+    Parameters
+    ----------
+    sim, name:
+        Simulation context and a unique device name.
+    app:
+        The deployed :class:`PPEApplication`.
+    shell:
+        Architecture shell (defaults to the prototype One-Way-Filter).
+    device:
+        Target FPGA (defaults to the prototype's MPF200T).
+    auth_key / deploy_key:
+        HMAC keys for management-frame authentication and bitstream
+        signature verification respectively.
+    build:
+        A pre-computed :class:`~repro.hls.compiler.BuildResult`; when
+        omitted the module synthesizes ``app`` itself (raising if it does
+        not fit or misses timing).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        app: PPEApplication,
+        shell: ShellSpec = PROTOTYPE_SHELL,
+        device: FPGADevice = MPF200T,
+        auth_key: bytes = DEFAULT_AUTH_KEY,
+        deploy_key: bytes | None = None,
+        build=None,
+        flash_slots: int = 4,
+        device_id: int = 0,
+        mgmt_mac: str | int = "02:f5:f9:00:00:01",
+    ) -> None:
+        from ..hls.compiler import compile_app  # deferred: avoids import cycle
+
+        self.sim = sim
+        self.name = name
+        self.app = app
+        self.shell = shell
+        self.device = device
+        self.device_id = device_id
+        self.mgmt_mac = mgmt_mac
+        self._mgmt_mac_int = mac_to_int(mgmt_mac)
+        self.auth_key = auth_key
+        self.deploy_key = deploy_key if deploy_key is not None else auth_key
+
+        self.build = build if build is not None else compile_app(app, shell, device)
+        self.flash = SPIFlash(slots=flash_slots)
+        self.flash.store_bitstream(0, self.build.bitstream, allow_golden=True)
+        self.flash.select_boot(0)
+
+        self.edge_port = Port(sim, f"{name}.edge", rate_bps=shell.line_rate_bps)
+        self.line_port = Port(sim, f"{name}.line", rate_bps=shell.line_rate_bps)
+        self.edge_port.attach(self._on_edge_rx)
+        self.line_port.attach(self._on_line_rx)
+        self.mgmt_port: Port | None = None
+        if shell.kind is ShellKind.ACTIVE_CORE:
+            self.mgmt_port = Port(sim, f"{name}.mgmt", rate_bps=1e9)
+            self.mgmt_port.attach(self._on_mgmt_rx)
+
+        self.arbiter = Arbiter(name)
+        self.control_plane = ControlPlane(self, auth_key)
+        self.services = ServiceRegistry()
+        self.ppe = PacketProcessingEngine(
+            sim, app, self.build.report.timing, device_id=device_id
+        )
+
+        self._down = False
+        self.reboots = 0
+        self.failed_boots = 0
+        self.verdict_drops = Counter(f"{name}.verdict_drops")
+        self.downtime_drops = Counter(f"{name}.downtime_drops")
+        self.punted_to_cpu: list[Packet] = []
+
+    # ------------------------------------------------------------------
+    # Ingress handling
+    # ------------------------------------------------------------------
+    def _on_edge_rx(self, port: Port, packet: Packet) -> None:
+        self._ingress(packet, Direction.EDGE_TO_LINE, reply_port=self.edge_port)
+
+    def _on_line_rx(self, port: Port, packet: Packet) -> None:
+        self._ingress(packet, Direction.LINE_TO_EDGE, reply_port=self.line_port)
+
+    def _on_mgmt_rx(self, port: Port, packet: Packet) -> None:
+        # The out-of-band management port carries only control traffic
+        # addressed to (or broadcast at) this module.
+        if (
+            self.arbiter.classify(packet) == "cpu"
+            and self._mgmt_addressing(packet) != "other"
+        ):
+            self._to_control_plane(packet, port)
+        else:
+            self.verdict_drops.count(packet.wire_len)
+
+    def _mgmt_addressing(self, packet: Packet) -> str:
+        """How a management frame relates to this module.
+
+        ``"us"`` — unicast to our management MAC; ``"broadcast"`` —
+        discovery traffic (consume *and* forward); ``"other"`` — another
+        module's management traffic (pure data from our point of view).
+        """
+        eth = packet.eth
+        if eth is None:
+            return "other"
+        if eth.dst == self._mgmt_mac_int:
+            return "us"
+        if eth.dst == BROADCAST_MAC:
+            return "broadcast"
+        return "other"
+
+    def _ingress(self, packet: Packet, direction: Direction, reply_port: Port) -> None:
+        if self._down:
+            self.downtime_drops.count(packet.wire_len)
+            return
+        if self.arbiter.classify(packet) == "cpu":
+            addressing = self._mgmt_addressing(packet)
+            if addressing == "us":
+                self._to_control_plane(packet, reply_port)
+                return
+            if addressing == "broadcast":
+                # Answer discovery and let the frame continue downstream.
+                self._to_control_plane(packet.copy(), reply_port)
+            # Management traffic for other modules rides the data path.
+        packet.meta["flexsfp_ingress_ns"] = int(self.sim.now * 1e9)
+        if self.shell.processes(direction):
+            accepted = self.ppe.submit(
+                packet,
+                direction,
+                lambda pkt, verdict, emitted, d=direction: self._ppe_done(
+                    pkt, verdict, emitted, d
+                ),
+            )
+            if not accepted:
+                return  # counted by the PPE as an overload drop
+        else:
+            self.sim.schedule(
+                TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S,
+                self._forward,
+                packet,
+                direction,
+            )
+
+    # ------------------------------------------------------------------
+    # Egress / verdict routing
+    # ------------------------------------------------------------------
+    def _egress_port(self, direction: Direction) -> Port:
+        return self.line_port if direction is Direction.EDGE_TO_LINE else self.edge_port
+
+    def _ingress_port(self, direction: Direction) -> Port:
+        return self.edge_port if direction is Direction.EDGE_TO_LINE else self.line_port
+
+    def _forward(self, packet: Packet, direction: Direction) -> None:
+        self._egress_port(direction).send(packet)
+
+    def _ppe_done(
+        self,
+        packet: Packet,
+        verdict: Verdict,
+        emitted: list[tuple[Packet, Direction]],
+        direction: Direction,
+    ) -> None:
+        if verdict is Verdict.PASS:
+            self.sim.schedule(TRANSCEIVER_LATENCY_S, self._forward, packet, direction)
+        elif verdict is Verdict.REFLECT:
+            self.sim.schedule(
+                TRANSCEIVER_LATENCY_S, self._forward, packet, direction.reverse
+            )
+        elif verdict is Verdict.TO_CPU:
+            self.punted_to_cpu.append(packet)
+            # The embedded CPU's service chain may answer (§4.1's
+            # "self-contained microservice node"); replies leave through
+            # the interface the packet arrived on.
+            self.sim.schedule(
+                CONTROL_PLANE_LATENCY_S, self._run_services, packet, direction
+            )
+        else:  # DROP
+            self.verdict_drops.count(packet.wire_len)
+        for extra, extra_direction in emitted:
+            self.sim.schedule(
+                TRANSCEIVER_LATENCY_S, self._forward, extra, extra_direction
+            )
+
+    def _run_services(self, packet: Packet, direction: Direction) -> None:
+        reply = self.services.dispatch(packet, direction)
+        if reply is not None:
+            self.arbiter.merge_from_cpu(reply)
+            self._ingress_port(direction).send(reply)
+
+    # ------------------------------------------------------------------
+    # Control plane plumbing
+    # ------------------------------------------------------------------
+    def _to_control_plane(self, packet: Packet, reply_port: Port) -> None:
+        reply = self.control_plane.handle_frame(packet)
+        if reply is None:
+            return
+        eth = packet.eth
+        requester = eth.src if eth is not None else 0
+        from .mgmt import mgmt_frame  # deferred: tiny helper, avoids cycle
+
+        response = mgmt_frame(reply, self.auth_key, self.mgmt_mac, requester)
+        self.arbiter.merge_from_cpu(response)
+        self.sim.schedule(CONTROL_PLANE_LATENCY_S, reply_port.send, response)
+
+    # ------------------------------------------------------------------
+    # Reprogramming / reboot
+    # ------------------------------------------------------------------
+    def load_via_jtag(self, bitstream, slot: int = 0) -> None:
+        """Factory/JTAG load path: may program any slot, golden included."""
+        self.flash.store_bitstream(slot, bitstream, allow_golden=True)
+
+    def schedule_reboot(self, delay_s: float = 1e-3) -> None:
+        """Arrange a reboot shortly after the current command completes."""
+        self.sim.schedule(delay_s, self.reboot)
+
+    def reboot(self, app_factory: Callable[[str, dict], PPEApplication] | None = None) -> None:
+        """Reload the boot-slot bitstream and restart the PPE.
+
+        The module goes dark for ``RECONFIG_DOWNTIME_S`` (fabric
+        reprogramming); ingress during that window is dropped and counted.
+        The new application instance is rebuilt from the bitstream's
+        recorded parameters via the application registry (or a supplied
+        factory).
+        """
+        bitstream = self.flash.boot_image()
+        if app_factory is None:
+            from ..apps import create_app  # deferred: avoids import cycle
+
+            app_factory = create_app
+        params = bitstream.metadata.get("app_params", {})
+        if bitstream.app_name == self.app.name:
+            new_app = self.app  # same application: keep runtime state
+        else:
+            try:
+                new_app = app_factory(bitstream.app_name, params)
+            except ConfigError:
+                # The image names an application this module cannot
+                # reconstruct (e.g. a custom program not in the registry).
+                # Behave like a watchdog: refuse the boot, keep running.
+                self.failed_boots += 1
+                return
+        self.app = new_app
+        self.ppe = PacketProcessingEngine(
+            self.sim, new_app, bitstream.timing, device_id=self.device_id
+        )
+        self.reboots += 1
+        self._down = True
+        self.sim.schedule(RECONFIG_DOWNTIME_S, self._boot_complete)
+
+    def _boot_complete(self) -> None:
+        self._down = False
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        return {
+            "app": self.app.name,
+            "shell": self.shell.kind.value,
+            "ppe": self.ppe.stats(),
+            "verdict_drops": self.verdict_drops.snapshot(),
+            "downtime_drops": self.downtime_drops.snapshot(),
+            "control_plane": self.control_plane.stats(),
+            "control_fraction": self.arbiter.control_fraction(),
+            "reboots": self.reboots,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FlexSFPModule {self.name}: {self.app.name} on {self.device.name} "
+            f"({self.shell.kind.value})>"
+        )

@@ -1,0 +1,232 @@
+"""The Packet Processing Engine: application interface and runtime.
+
+The PPE is the programmable element in every FlexSFP shell (Figure 1).
+Applications implement :class:`PPEApplication` — a functional ``process``
+method (what the logic does to each packet) plus a ``pipeline_spec`` (what
+the logic costs to synthesize).  The :class:`PacketProcessingEngine` runs
+applications inside the discrete-event simulation as a single server whose
+service time comes from the synthesized :class:`TimingSpec`, so overload,
+queueing, and loss emerge from the same arithmetic the paper uses for its
+line-rate claims.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from enum import Enum
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import SimulationError
+from ..fpga.timing import TimingSpec
+from ..packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - break the hls<->core import cycle
+    from ..hls.ir import PipelineSpec
+from ..sim.engine import Simulator
+from ..sim.stats import Counter, Histogram
+from .tables import TableRegistry
+
+
+class Direction(Enum):
+    """Which way a packet is traversing the module."""
+
+    EDGE_TO_LINE = "edge->line"  # host/switch toward the fiber
+    LINE_TO_EDGE = "line->edge"  # fiber toward the host/switch
+
+    @property
+    def reverse(self) -> "Direction":
+        return (
+            Direction.LINE_TO_EDGE
+            if self is Direction.EDGE_TO_LINE
+            else Direction.EDGE_TO_LINE
+        )
+
+
+class Verdict(Enum):
+    """Outcome of processing one packet."""
+
+    PASS = "pass"  # forward toward the packet's natural egress
+    DROP = "drop"
+    REFLECT = "reflect"  # send back out the ingress interface
+    TO_CPU = "to_cpu"  # hand to the embedded control plane
+
+
+class PPEContext:
+    """Per-packet context handed to applications.
+
+    ``emit`` lets an application originate additional packets (telemetry
+    reports, mirrored frames); emitted packets leave through the interface
+    for the given direction after the current packet completes.
+    """
+
+    __slots__ = ("time_ns", "direction", "device_id", "queue_depth", "_emitted")
+
+    def __init__(
+        self,
+        time_ns: int,
+        direction: Direction,
+        device_id: int = 0,
+        queue_depth: int = 0,
+    ) -> None:
+        self.time_ns = time_ns
+        self.direction = direction
+        self.device_id = device_id
+        self.queue_depth = queue_depth
+        self._emitted: list[tuple[Packet, Direction]] = []
+
+    def emit(self, packet: Packet, direction: Direction) -> None:
+        """Queue an application-originated packet for transmission."""
+        self._emitted.append((packet, direction))
+
+    @property
+    def emitted(self) -> list[tuple[Packet, Direction]]:
+        return self._emitted
+
+
+class PPEApplication(ABC):
+    """A packet function deployable into a FlexSFP PPE.
+
+    Subclasses populate ``self.tables`` with their match-action state (the
+    control plane reads/writes through that registry) and keep functional
+    statistics in ``self.counters``.
+    """
+
+    name: str = "app"
+
+    def __init__(self) -> None:
+        self.tables = TableRegistry()
+        self.counters: dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create a named statistics counter."""
+        if name not in self.counters:
+            self.counters[name] = Counter(f"{self.name}.{name}")
+        return self.counters[name]
+
+    @abstractmethod
+    def pipeline_spec(self) -> "PipelineSpec":
+        """The hardware pipeline this application synthesizes to."""
+
+    @abstractmethod
+    def process(self, packet: Packet, ctx: PPEContext) -> Verdict:
+        """Process one packet (mutating it in place); return a verdict."""
+
+    def config(self) -> dict:
+        """Serializable constructor parameters (stored in bitstreams)."""
+        return {}
+
+    def counters_snapshot(self) -> dict[str, dict[str, int]]:
+        return {name: c.snapshot() for name, c in self.counters.items()}
+
+
+DoneCallback = Callable[[Packet, Verdict, list[tuple[Packet, Direction]]], None]
+
+
+class PacketProcessingEngine:
+    """Queueing server that executes an application at synthesized speed.
+
+    Service time per frame is ``TimingSpec.frame_service_time`` —  the
+    number of datapath beats the frame occupies.  Packets arriving while
+    the engine is busy wait in a bounded ingress FIFO; overflow is counted
+    and dropped, which is exactly how the Two-Way-Core shell falls off
+    line rate when it is not clocked up (Figure 1 discussion).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: PPEApplication,
+        timing: TimingSpec,
+        queue_bytes: int = 32 * 1024,
+        device_id: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.app = app
+        self.timing = timing
+        self.queue_bytes = queue_bytes
+        self.device_id = device_id
+        self._fifo: deque[tuple[Packet, Direction, DoneCallback]] = deque()
+        self._fifo_bytes = 0
+        self._busy = False
+        self.processed = Counter("ppe.processed")
+        self.overload_drops = Counter("ppe.overload_drops")
+        self.verdict_counts: dict[Verdict, int] = {v: 0 for v in Verdict}
+        self.latency_ns = Histogram.exponential(start=50.0, factor=2.0, count=16)
+
+    @property
+    def pipeline_latency_s(self) -> float:
+        """Fixed pipeline fill latency (depth cycles at the PPE clock)."""
+        depth = self.app.pipeline_spec().pipeline_depth
+        return depth / self.timing.clock_hz
+
+    def submit(self, packet: Packet, direction: Direction, done: DoneCallback) -> bool:
+        """Offer a packet to the engine; False when the ingress FIFO drops."""
+        size = packet.wire_len
+        if self._fifo_bytes + size > self.queue_bytes:
+            self.overload_drops.count(size)
+            return False
+        packet.meta.setdefault("ppe_enqueue_ns", int(self.sim.now * 1e9))
+        self._fifo.append((packet, direction, done))
+        self._fifo_bytes += size
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._fifo:
+            self._busy = False
+            return
+        self._busy = True
+        packet, direction, done = self._fifo.popleft()
+        self._fifo_bytes -= packet.wire_len
+        service = self.timing.frame_service_time(packet.wire_len)
+        self.sim.schedule(service, self._finish, packet, direction, done)
+
+    def _finish(self, packet: Packet, direction: Direction, done: DoneCallback) -> None:
+        # The frame has streamed through; apply the functional behaviour,
+        # then deliver after the pipeline fill latency.
+        ctx = PPEContext(
+            time_ns=int(self.sim.now * 1e9),
+            direction=direction,
+            device_id=self.device_id,
+            queue_depth=self._fifo_bytes,
+        )
+        verdict = self.app.process(packet, ctx)
+        if not isinstance(verdict, Verdict):
+            raise SimulationError(
+                f"application {self.app.name!r} returned {verdict!r} "
+                "instead of a Verdict"
+            )
+        self.processed.count(packet.wire_len)
+        self.verdict_counts[verdict] += 1
+        enqueue_ns = packet.meta.get("ppe_enqueue_ns", int(self.sim.now * 1e9))
+        self.sim.schedule(
+            self.pipeline_latency_s,
+            self._deliver,
+            packet,
+            verdict,
+            ctx.emitted,
+            done,
+            enqueue_ns,
+        )
+        self._start_next()
+
+    def _deliver(
+        self,
+        packet: Packet,
+        verdict: Verdict,
+        emitted: list[tuple[Packet, Direction]],
+        done: DoneCallback,
+        enqueue_ns: int,
+    ) -> None:
+        self.latency_ns.add(int(self.sim.now * 1e9) - enqueue_ns)
+        done(packet, verdict, emitted)
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "processed": self.processed.snapshot(),
+            "overload_drops": self.overload_drops.snapshot(),
+            "verdicts": {v.value: n for v, n in self.verdict_counts.items()},
+            "latency_ns": self.latency_ns.snapshot(),
+        }

@@ -1,0 +1,35 @@
+"""The ideal-scaling normalization of Sadok et al. (HotNets '23) [39].
+
+Heterogeneous acceleration hardware is only comparable after normalizing
+capital cost and power to a common capacity slice; the paper (and its
+Table 3) normalizes to a 10 Gb/s slice under the *ideal-scaling* rule:
+divide the raw figure by the device's aggregate line capacity expressed in
+10 G units, i.e. assume the device can be perfectly time/space-shared.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+SLICE_GBPS = 10.0
+
+
+def slices(capacity_gbps: float) -> float:
+    """How many ideal 10 G slices a device offers."""
+    if capacity_gbps <= 0:
+        raise ConfigError("capacity must be positive")
+    return capacity_gbps / SLICE_GBPS
+
+
+def per_10g(value: float, capacity_gbps: float) -> float:
+    """Ideal-scaled value per 10 G slice."""
+    return value / slices(capacity_gbps)
+
+
+def per_10g_band(
+    low: float, high: float, capacity_gbps: float
+) -> tuple[float, float]:
+    """Ideal-scale a [low, high] band at fixed capacity."""
+    if high < low:
+        raise ConfigError("band is inverted")
+    return per_10g(low, capacity_gbps), per_10g(high, capacity_gbps)

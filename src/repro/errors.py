@@ -1,0 +1,59 @@
+"""Exception hierarchy for the FlexSFP reproduction toolkit.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch toolkit failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all toolkit errors."""
+
+
+class PacketError(ReproError):
+    """Malformed packet data or an unsupported header combination."""
+
+
+class ParseError(PacketError):
+    """Raised when raw bytes cannot be parsed into the requested header."""
+
+
+class SerializationError(PacketError):
+    """Raised when a header cannot be serialized (e.g. field out of range)."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistent discrete-event simulator usage."""
+
+
+class ResourceError(ReproError):
+    """A design does not fit the targeted FPGA device."""
+
+
+class TimingError(ReproError):
+    """A design cannot meet its timing/line-rate requirement."""
+
+
+class BitstreamError(ReproError):
+    """Corrupt, unauthenticated, or incompatible bitstream artifact."""
+
+
+class FlashError(ReproError):
+    """SPI flash misuse (bad slot, image too large, erase violations)."""
+
+
+class ControlPlaneError(ReproError):
+    """Control-plane API misuse (unknown table, bad entry, auth failure)."""
+
+
+class TableError(ControlPlaneError):
+    """Match-action table errors (capacity exceeded, duplicate keys...)."""
+
+
+class CompileError(ReproError):
+    """The HLS-like compiler rejected a packet program."""
+
+
+class ConfigError(ReproError):
+    """Invalid static configuration of a model component."""

@@ -1,0 +1,343 @@
+"""Fleet orchestration: centralized control of many FlexSFPs (§4.1).
+
+"[A network-accessible control interface] is essential for centralized
+orchestration across a fleet of FlexSFPs, while preserving the
+independence of per-port behavior."
+
+:class:`FleetController` is that orchestrator: it speaks the management
+protocol over a simulated network port, matches replies to requests by
+sequence number, discovers modules via broadcast HELLO, reads/writes
+their tables and counters, streams signed bitstreams, and performs
+*rolling upgrades* — one module at a time, verifying each comes back
+with the new application before touching the next.
+
+Everything is event-driven: operations take completion callbacks and the
+controller enforces per-request timeouts, so lost frames (or dead
+modules) surface as errors rather than hangs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ._util import int_to_mac
+from .core.mgmt import MgmtMessage, MgmtOp, chunk_body, mgmt_frame
+from .errors import ControlPlaneError
+from .fpga.bitstream import Bitstream
+from .packet import Packet
+from .sim.engine import EventHandle, Simulator
+from .sim.link import Port
+from .sim.stats import Counter
+
+BROADCAST = "ff:ff:ff:ff:ff:ff"
+DEFAULT_TIMEOUT_S = 20e-3
+CHUNK_BYTES = 1024
+
+ReplyCallback = Callable[[dict | None], None]
+"""Receives the reply's JSON body, or None on timeout."""
+
+
+@dataclass
+class ModuleInfo:
+    """What discovery learned about one module."""
+
+    mac: str
+    app: str
+    device: str
+    shell: str
+    boot_slot: int
+    tables: list[str] = field(default_factory=list)
+
+
+@dataclass
+class UpgradeReport:
+    """Outcome of a rolling upgrade."""
+
+    upgraded: list[str] = field(default_factory=list)
+    failed: list[tuple[str, str]] = field(default_factory=list)  # (mac, reason)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+class _Pending:
+    __slots__ = ("callback", "timer")
+
+    def __init__(self, callback: ReplyCallback, timer: EventHandle) -> None:
+        self.callback = callback
+        self.timer = timer
+
+
+class FleetController:
+    """The management-plane orchestrator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "fleet",
+        auth_key: bytes = b"flexsfp-mgmt-key",
+        mac: str | int = "02:0c:00:00:00:0f",
+        rate_bps: float = 1e9,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.auth_key = auth_key
+        self.mac = mac
+        self.timeout_s = timeout_s
+        self.port = Port(sim, f"{name}.mgmt", rate_bps=rate_bps)
+        self.port.attach(self._on_rx)
+        self._seq = 0
+        self._pending: dict[int, _Pending] = {}
+        self._discovered: dict[str, ModuleInfo] = {}
+        self._discovering = False
+        self.timeouts = Counter(f"{name}.timeouts")
+        self.naks = Counter(f"{name}.naks")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _send(
+        self,
+        dst_mac: str | int,
+        message: MgmtMessage,
+        on_reply: ReplyCallback | None,
+        track: bool = True,
+    ) -> None:
+        frame = mgmt_frame(message, self.auth_key, self.mac, dst_mac)
+        if track and on_reply is not None:
+            timer = self.sim.schedule(self.timeout_s, self._timeout, message.seq)
+            self._pending[message.seq] = _Pending(on_reply, timer)
+        self.port.send(frame)
+
+    def _timeout(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None:
+            self.timeouts.count()
+            pending.callback(None)
+
+    def _on_rx(self, port: Port, packet: Packet) -> None:
+        try:
+            message = MgmtMessage.unpack(packet.payload, self.auth_key)
+        except ControlPlaneError:
+            return
+        if message.opcode not in (MgmtOp.ACK, MgmtOp.NAK):
+            return
+        body = message.json_body()
+        if message.opcode is MgmtOp.NAK:
+            self.naks.count()
+        if self._discovering and body.get("ok") and "app" in body and "device" in body:
+            eth = packet.eth
+            mac = int_to_mac(eth.src) if eth is not None else "?"
+            self._discovered[mac] = ModuleInfo(
+                mac=mac,
+                app=str(body["app"]),
+                device=str(body["device"]),
+                shell=str(body.get("shell", "")),
+                boot_slot=int(body.get("boot_slot", 0)),
+                tables=list(body.get("tables", [])),
+            )
+        pending = self._pending.pop(message.seq, None)
+        if pending is not None:
+            pending.timer.cancel()
+            pending.callback(body)
+
+    # ------------------------------------------------------------------
+    # Basic operations
+    # ------------------------------------------------------------------
+    def hello(self, mac: str | int, on_reply: ReplyCallback) -> None:
+        self._send(
+            mac, MgmtMessage.control(MgmtOp.HELLO, self._next_seq()), on_reply
+        )
+
+    def discover(
+        self,
+        window_s: float,
+        on_done: Callable[[dict[str, ModuleInfo]], None],
+    ) -> None:
+        """Broadcast HELLO; after ``window_s``, report every responder."""
+        self._discovered = {}
+        self._discovering = True
+        # Broadcast replies are matched by the discovery sniffer above;
+        # the per-request tracking is a no-op callback.
+        self._send(
+            BROADCAST,
+            MgmtMessage.control(MgmtOp.HELLO, self._next_seq()),
+            None,
+            track=False,
+        )
+
+        def finish() -> None:
+            self._discovering = False
+            on_done(dict(self._discovered))
+
+        self.sim.schedule(window_s, finish)
+
+    def table_add(
+        self, mac: str | int, table: str, key, value, on_reply: ReplyCallback
+    ) -> None:
+        self._send(
+            mac,
+            MgmtMessage.control(
+                MgmtOp.TABLE_ADD, self._next_seq(), table=table, key=key, value=value
+            ),
+            on_reply,
+        )
+
+    def counter_read(self, mac: str | int, on_reply: ReplyCallback) -> None:
+        self._send(
+            mac, MgmtMessage.control(MgmtOp.COUNTER_READ, self._next_seq()), on_reply
+        )
+
+    # ------------------------------------------------------------------
+    # Bitstream deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        mac: str | int,
+        bitstream: Bitstream,
+        slot: int,
+        on_done: Callable[[bool, str], None],
+        deploy_key: bytes | None = None,
+        reboot: bool = True,
+    ) -> None:
+        """Stream a bitstream into ``slot``; optionally boot into it.
+
+        ``on_done(ok, reason)`` fires after the commit (and, with
+        ``reboot``, after BOOT_SELECT + REBOOT are acknowledged).
+        """
+        image = bitstream.to_bytes()
+        signature = bitstream.sign(
+            deploy_key if deploy_key is not None else self.auth_key
+        ).hex()
+        offsets = list(range(0, len(image), CHUNK_BYTES))
+
+        def fail(reason: str) -> None:
+            on_done(False, reason)
+
+        def after_begin(reply: dict | None) -> None:
+            if not reply or not reply.get("ok"):
+                return fail(f"begin rejected: {reply and reply.get('reason')}")
+            send_chunk(0)
+
+        def send_chunk(index: int) -> None:
+            if index >= len(offsets):
+                return commit()
+            offset = offsets[index]
+            message = MgmtMessage(
+                MgmtOp.RECONFIG_CHUNK,
+                self._next_seq(),
+                chunk_body(offset, image[offset : offset + CHUNK_BYTES]),
+            )
+            self._send(
+                mac,
+                message,
+                lambda reply: (
+                    send_chunk(index + 1)
+                    if reply and reply.get("ok")
+                    else fail(f"chunk {index} failed")
+                ),
+            )
+
+        def commit() -> None:
+            self._send(
+                mac,
+                MgmtMessage.control(
+                    MgmtOp.RECONFIG_COMMIT, self._next_seq(), signature=signature
+                ),
+                after_commit,
+            )
+
+        def after_commit(reply: dict | None) -> None:
+            if not reply or not reply.get("ok"):
+                return fail(f"commit rejected: {reply and reply.get('reason')}")
+            if not reboot:
+                return on_done(True, "stored")
+            self._send(
+                mac,
+                MgmtMessage.control(MgmtOp.BOOT_SELECT, self._next_seq(), slot=slot),
+                after_select,
+            )
+
+        def after_select(reply: dict | None) -> None:
+            if not reply or not reply.get("ok"):
+                return fail("boot select rejected")
+            self._send(
+                mac,
+                MgmtMessage.control(MgmtOp.REBOOT, self._next_seq()),
+                lambda reply: on_done(bool(reply and reply.get("ok")), "rebooting")
+                if reply
+                else fail("reboot not acknowledged"),
+            )
+
+        self._send(
+            mac,
+            MgmtMessage.control(
+                MgmtOp.RECONFIG_BEGIN,
+                self._next_seq(),
+                slot=slot,
+                total_len=len(image),
+                sha256=hashlib.sha256(image).hexdigest(),
+            ),
+            after_begin,
+        )
+
+    # ------------------------------------------------------------------
+    # Rolling upgrade
+    # ------------------------------------------------------------------
+    def rolling_upgrade(
+        self,
+        macs: list[str],
+        bitstream: Bitstream,
+        slot: int,
+        on_done: Callable[[UpgradeReport], None],
+        settle_s: float = 0.2,
+        deploy_key: bytes | None = None,
+    ) -> None:
+        """Upgrade modules one at a time, verifying each before the next.
+
+        After each deploy+reboot the controller waits ``settle_s`` (to
+        cover the reprogram downtime), then HELLOs the module and checks
+        it reports the new application.  A failure stops the rollout —
+        the canary behaviour a fleet operator wants.
+        """
+        report = UpgradeReport()
+        queue = list(macs)
+
+        def next_module() -> None:
+            if not queue:
+                return on_done(report)
+            mac = queue.pop(0)
+            self.deploy(
+                mac,
+                bitstream,
+                slot,
+                lambda ok, reason, m=mac: after_deploy(m, ok, reason),
+                deploy_key=deploy_key,
+            )
+
+        def after_deploy(mac: str, ok: bool, reason: str) -> None:
+            if not ok:
+                report.failed.append((mac, reason))
+                return on_done(report)  # stop the rollout
+            self.sim.schedule(settle_s, verify, mac)
+
+        def verify(mac: str) -> None:
+            self.hello(mac, lambda reply, m=mac: after_verify(m, reply))
+
+        def after_verify(mac: str, reply: dict | None) -> None:
+            if reply and reply.get("ok") and reply.get("app") == bitstream.app_name:
+                report.upgraded.append(mac)
+                next_module()
+            else:
+                report.failed.append((mac, "verification failed"))
+                on_done(report)
+
+        next_module()

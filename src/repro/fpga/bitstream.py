@@ -1,0 +1,133 @@
+"""Bitstream artifacts: the output of the build flow and the unit of
+over-the-network reprogramming.
+
+A :class:`Bitstream` bundles the synthesized design's identity (app name,
+shell, target device), its resource/timing report, and an opaque
+configuration payload.  Integrity is a CRC-32; authenticity for remote
+reconfiguration (§4.2: "the control plane authenticates reconfiguration
+packets whose payload carries a new bitstream") is an HMAC-SHA256 over the
+canonical serialization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import zlib
+from dataclasses import dataclass, field
+
+from ..errors import BitstreamError
+from .resources import ResourceVector
+from .timing import TimingSpec
+
+MAGIC = b"FSFP"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Bitstream:
+    """A built FPGA configuration image."""
+
+    app_name: str
+    shell: str
+    device: str
+    timing: TimingSpec
+    resources: ResourceVector
+    payload: bytes
+    version: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def size_bits(self) -> int:
+        return len(self.to_bytes()) * 8
+
+    def _canonical(self) -> bytes:
+        """Deterministic byte form of everything except the MAC."""
+        header = {
+            "app_name": self.app_name,
+            "shell": self.shell,
+            "device": self.device,
+            "datapath_bits": self.timing.datapath_bits,
+            "clock_hz": self.timing.clock_hz,
+            "resources": self.resources.as_dict(),
+            "version": self.version,
+            "metadata": self.metadata,
+            "format": FORMAT_VERSION,
+        }
+        head = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        return (
+            MAGIC
+            + len(head).to_bytes(4, "big")
+            + head
+            + len(self.payload).to_bytes(4, "big")
+            + self.payload
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize with a trailing CRC-32."""
+        body = self._canonical()
+        return body + zlib.crc32(body).to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bitstream":
+        """Parse and CRC-check a serialized bitstream."""
+        if len(data) < 12 or data[:4] != MAGIC:
+            raise BitstreamError("not a FlexSFP bitstream (bad magic)")
+        body, crc = data[:-4], int.from_bytes(data[-4:], "big")
+        if zlib.crc32(body) != crc:
+            raise BitstreamError("bitstream CRC mismatch")
+        head_len = int.from_bytes(data[4:8], "big")
+        head_end = 8 + head_len
+        try:
+            header = json.loads(data[8:head_end])
+        except ValueError as exc:
+            raise BitstreamError("corrupt bitstream header") from exc
+        payload_len = int.from_bytes(data[head_end : head_end + 4], "big")
+        payload = bytes(data[head_end + 4 : head_end + 4 + payload_len])
+        if len(payload) != payload_len:
+            raise BitstreamError("truncated bitstream payload")
+        if header.get("format") != FORMAT_VERSION:
+            raise BitstreamError(f"unsupported format {header.get('format')}")
+        res = header["resources"]
+        return cls(
+            app_name=header["app_name"],
+            shell=header["shell"],
+            device=header["device"],
+            timing=TimingSpec(header["datapath_bits"], header["clock_hz"]),
+            resources=ResourceVector(**res),
+            payload=payload,
+            version=header["version"],
+            metadata=header.get("metadata", {}),
+        )
+
+    # ------------------------------------------------------------------
+    # Authenticity for over-the-network deployment
+    # ------------------------------------------------------------------
+    def sign(self, key: bytes) -> bytes:
+        """HMAC-SHA256 over the canonical serialization."""
+        return hmac.new(key, self._canonical(), hashlib.sha256).digest()
+
+    def verify(self, key: bytes, signature: bytes) -> bool:
+        """Constant-time signature check."""
+        return hmac.compare_digest(self.sign(key), signature)
+
+
+def synthesize_payload(app_name: str, resources: ResourceVector, size_kib: int = 64) -> bytes:
+    """Deterministic stand-in for the real configuration payload.
+
+    Real PolarFire bitstreams are a few MiB of opaque configuration data;
+    for simulation we generate a deterministic pseudo-random payload seeded
+    by the design identity so flash/UPLOAD paths move realistic volumes.
+    """
+    if size_kib <= 0:
+        raise BitstreamError("payload size must be positive")
+    seed = hashlib.sha256(
+        f"{app_name}:{resources.as_dict()}".encode()
+    ).digest()
+    out = bytearray()
+    block = seed
+    while len(out) < size_kib * 1024:
+        block = hashlib.sha256(block).digest()
+        out += block
+    return bytes(out[: size_kib * 1024])

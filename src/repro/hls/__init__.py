@@ -1,0 +1,54 @@
+"""FlexSFP programming model: pipeline IR, XDP-like front end, build flow."""
+
+from .compiler import (
+    BuildResult,
+    SynthesisReport,
+    compile_app,
+    compile_pipeline,
+    price_pipeline,
+    price_stage,
+)
+from .ir import CHAIN_STAGE_KINDS, PipelineSpec, Stage, StageKind
+from .passes import (
+    ALL_PASSES,
+    OptimizationReport,
+    coalesce_fifos,
+    eliminate_dead_stages,
+    fuse_actions,
+    merge_checksum_units,
+    optimize,
+)
+from .xdp import (
+    FIELD_BITS,
+    HEADER_BYTES,
+    XdpContext,
+    XdpMap,
+    XdpProgram,
+    XdpVerdict,
+)
+
+__all__ = [
+    "ALL_PASSES",
+    "BuildResult",
+    "CHAIN_STAGE_KINDS",
+    "FIELD_BITS",
+    "HEADER_BYTES",
+    "OptimizationReport",
+    "PipelineSpec",
+    "Stage",
+    "StageKind",
+    "SynthesisReport",
+    "XdpContext",
+    "XdpMap",
+    "XdpProgram",
+    "XdpVerdict",
+    "coalesce_fifos",
+    "compile_app",
+    "compile_pipeline",
+    "eliminate_dead_stages",
+    "fuse_actions",
+    "merge_checksum_units",
+    "optimize",
+    "price_pipeline",
+    "price_stage",
+]

@@ -1,0 +1,240 @@
+"""The FlexSFP build flow: pipeline IR → resource/timing report → bitstream.
+
+This mirrors §4.2's workflow: "the developer writes the packet function …
+an HLS toolchain converts it to HDL and generates an IP core.  The build
+framework integrates this into an architecture shell, finalizes clocks,
+memory, and IO, and emits the SFP bitstream."  Here, "synthesis" is the
+calibrated cost model in :mod:`repro.fpga.estimator`, "timing closure" is
+the clock/width arithmetic in :mod:`repro.fpga.timing`, and the output is a
+:class:`~repro.fpga.bitstream.Bitstream` the flash/management stack can
+store, authenticate, and boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.shells import ShellSpec
+from ..errors import CompileError
+from ..fpga import estimator
+from ..fpga.bitstream import Bitstream, synthesize_payload
+from ..fpga.resources import FPGADevice, MPF200T, ResourceVector
+from ..fpga.timing import TimingSpec
+from .ir import PipelineSpec, Stage, StageKind
+
+
+@dataclass
+class SynthesisReport:
+    """Everything the build flow learned about a design."""
+
+    app_name: str
+    shell: ShellSpec
+    device: FPGADevice
+    timing: TimingSpec
+    components: dict[str, ResourceVector]
+    app_resources: ResourceVector
+    total: ResourceVector
+    fits: bool
+    meets_timing: bool
+    worst_case_frame: int
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> dict[str, float]:
+        return self.device.utilization(self.total)
+
+    def table1_rows(self) -> list[tuple[str, int, int, int, int]]:
+        """Rows in the paper's Table 1 format: (name, 4LUT, FF, uSRAM, LSRAM)."""
+        rows = [
+            (name, vec.lut4, vec.ff, vec.usram, vec.lsram)
+            for name, vec in self.components.items()
+        ]
+        rows.append(
+            ("Used", self.total.lut4, self.total.ff, self.total.usram, self.total.lsram)
+        )
+        rows.append(
+            (
+                "Avail.",
+                self.device.lut4,
+                self.device.ff,
+                self.device.usram,
+                self.device.lsram,
+            )
+        )
+        return rows
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "app": self.app_name,
+            "shell": self.shell.kind.value,
+            "device": self.device.name,
+            "clock_mhz": self.timing.clock_hz / 1e6,
+            "datapath_bits": self.timing.datapath_bits,
+            "fits": self.fits,
+            "meets_timing": self.meets_timing,
+            "utilization": {k: round(v, 4) for k, v in self.utilization.items()},
+        }
+
+
+@dataclass
+class BuildResult:
+    """A successful build: the report plus the deployable artifact."""
+
+    report: SynthesisReport
+    bitstream: Bitstream
+
+
+def price_stage(stage: Stage, datapath_bits: int) -> ResourceVector:
+    """Price one IR stage with the synthesis cost model."""
+    params = stage.params
+    kind = stage.kind
+    if kind is StageKind.PARSER:
+        return estimator.parser(stage.param("header_bytes"), datapath_bits)
+    if kind is StageKind.DEPARSER:
+        return estimator.deparser(stage.param("header_bytes"), datapath_bits)
+    if kind is StageKind.EXACT_TABLE:
+        return estimator.exact_match_table(
+            stage.param("entries"),
+            stage.param("key_bits"),
+            stage.param("value_bits"),
+            datapath_bits,
+        )
+    if kind is StageKind.LPM_TABLE:
+        return estimator.lpm_table(
+            stage.param("entries"), stage.param("key_bits"), stage.param("value_bits")
+        )
+    if kind is StageKind.TERNARY_TABLE:
+        return estimator.ternary_table(
+            stage.param("entries"), stage.param("key_bits"), stage.param("value_bits")
+        )
+    if kind is StageKind.ACTION:
+        return estimator.action_unit(stage.param("rewrite_bits"), datapath_bits)
+    if kind is StageKind.CHECKSUM:
+        return estimator.checksum_update_unit()
+    if kind is StageKind.HASH:
+        return estimator.crc_hash(stage.param("key_bits"))
+    if kind is StageKind.FIFO:
+        return estimator.frame_fifo(
+            stage.param("depth_bytes"),
+            metadata_bits=int(params.get("metadata_bits", 0)),
+            metadata_entries=int(params.get("metadata_entries", 16)),
+        )
+    if kind is StageKind.COUNTERS:
+        return estimator.counter_bank(
+            stage.param("counters"), int(params.get("bits", 64))
+        )
+    if kind is StageKind.METERS:
+        return estimator.meter_bank(stage.param("meters"))
+    if kind is StageKind.TIMESTAMP:
+        return estimator.timestamp_unit()
+    raise CompileError(f"no pricing rule for stage kind {kind}")  # pragma: no cover
+
+
+def price_pipeline(
+    spec: PipelineSpec, datapath_bits: int
+) -> tuple[ResourceVector, dict[str, ResourceVector]]:
+    """Price a whole pipeline: every stage plus inter-stage glue."""
+    spec.validate()
+    per_stage: dict[str, ResourceVector] = {}
+    for stage in spec.stages:
+        per_stage[stage.name] = price_stage(stage, datapath_bits)
+    glue = estimator.pipeline_glue(len(spec.stages), datapath_bits)
+    per_stage["glue"] = glue
+    return ResourceVector.sum(list(per_stage.values())), per_stage
+
+
+def compile_pipeline(
+    spec: PipelineSpec,
+    shell: ShellSpec,
+    device: FPGADevice = MPF200T,
+    clock_hz: float | None = None,
+    app_params: dict | None = None,
+    payload_kib: int = 64,
+    strict: bool = True,
+) -> BuildResult:
+    """Build a pipeline into a shell on a device.
+
+    ``clock_hz=None`` lets the flow pick the slowest standard clock that
+    sustains the shell's offered rate (the paper's 156.25 MHz for the
+    One-Way-Filter at 10G, 312.5 MHz for the Two-Way-Core).  With
+    ``strict`` (default), resource overflow or a timing miss raises; with
+    ``strict=False`` the report records the failure — useful for
+    feasibility sweeps that *want* to see where designs stop fitting.
+    """
+    if clock_hz is None:
+        clock_hz = shell.standard_ppe_clock_hz()
+    if clock_hz > device.max_fabric_mhz * 1e6:
+        raise CompileError(
+            f"{clock_hz / 1e6:.1f} MHz exceeds {device.name} fabric limit "
+            f"({device.max_fabric_mhz:.0f} MHz)"
+        )
+    timing = TimingSpec(shell.datapath_bits, clock_hz)
+
+    app_total, _ = price_pipeline(spec, shell.datapath_bits)
+    components = dict(shell.base_components())
+    components[f"{spec.name} app"] = app_total
+    total = ResourceVector.sum(list(components.values()))
+
+    worst_frame, sustained = timing.worst_case_frame(shell.ppe_offered_rate_bps)
+    fits = device.fits(total)
+    notes: list[str] = []
+    if not fits:
+        overs = [
+            f"{key}: {value} > {getattr(device, key)}"
+            for key, value in total.as_dict().items()
+            if value > getattr(device, key)
+        ]
+        notes.append("resource overflow: " + "; ".join(overs))
+    if not sustained:
+        notes.append(
+            f"timing miss: {timing.clock_hz / 1e6:.1f} MHz × "
+            f"{timing.datapath_bits} b cannot sustain "
+            f"{shell.ppe_offered_rate_bps / 1e9:.1f} Gbps "
+            f"(worst frame {worst_frame} B)"
+        )
+    if strict and notes:
+        raise CompileError(
+            f"build of {spec.name!r} on {device.name} failed: {'; '.join(notes)}"
+        )
+
+    report = SynthesisReport(
+        app_name=spec.name,
+        shell=shell,
+        device=device,
+        timing=timing,
+        components=components,
+        app_resources=app_total,
+        total=total,
+        fits=fits,
+        meets_timing=sustained,
+        worst_case_frame=worst_frame,
+        notes=notes,
+    )
+    bitstream = Bitstream(
+        app_name=spec.name,
+        shell=shell.kind.value,
+        device=device.name,
+        timing=timing,
+        resources=total,
+        payload=synthesize_payload(spec.name, total, payload_kib),
+        metadata={"app_params": app_params or {}},
+    )
+    return BuildResult(report=report, bitstream=bitstream)
+
+
+def compile_app(
+    app,
+    shell: ShellSpec,
+    device: FPGADevice = MPF200T,
+    clock_hz: float | None = None,
+    strict: bool = True,
+) -> BuildResult:
+    """Convenience: build a :class:`PPEApplication` instance."""
+    return compile_pipeline(
+        app.pipeline_spec(),
+        shell,
+        device=device,
+        clock_hz=clock_hz,
+        app_params=app.config(),
+        strict=strict,
+    )

@@ -1,0 +1,141 @@
+"""Pipeline intermediate representation.
+
+The IR is the contract of the FlexSFP build flow (§4.2): a packet program
+(written against the XDP-like API or assembled directly) lowers to a
+:class:`PipelineSpec` — an ordered list of hardware stages with sizing
+parameters.  The compiler prices each stage with the synthesis estimator,
+checks shell/timing constraints, and emits a bitstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import CompileError
+
+
+class StageKind(Enum):
+    """Hardware primitive classes the estimator can price."""
+
+    PARSER = "parser"
+    DEPARSER = "deparser"
+    EXACT_TABLE = "exact_table"
+    LPM_TABLE = "lpm_table"
+    TERNARY_TABLE = "ternary_table"
+    ACTION = "action"
+    CHECKSUM = "checksum"
+    HASH = "hash"
+    FIFO = "fifo"
+    COUNTERS = "counters"
+    METERS = "meters"
+    TIMESTAMP = "timestamp"
+
+
+# Parameters each stage kind requires (validated at IR construction).
+_REQUIRED_PARAMS: dict[StageKind, tuple[str, ...]] = {
+    StageKind.PARSER: ("header_bytes",),
+    StageKind.DEPARSER: ("header_bytes",),
+    StageKind.EXACT_TABLE: ("entries", "key_bits", "value_bits"),
+    StageKind.LPM_TABLE: ("entries", "key_bits", "value_bits"),
+    StageKind.TERNARY_TABLE: ("entries", "key_bits", "value_bits"),
+    StageKind.ACTION: ("rewrite_bits",),
+    StageKind.CHECKSUM: (),
+    StageKind.HASH: ("key_bits",),
+    StageKind.FIFO: ("depth_bytes",),
+    StageKind.COUNTERS: ("counters",),
+    StageKind.METERS: ("meters",),
+    StageKind.TIMESTAMP: (),
+}
+
+# Stage kinds that occupy a slot in the match-action chain (the paper's
+# "3-4 stages" guidance counts these, not plumbing like FIFOs).
+CHAIN_STAGE_KINDS = frozenset(
+    {
+        StageKind.EXACT_TABLE,
+        StageKind.LPM_TABLE,
+        StageKind.TERNARY_TABLE,
+        StageKind.ACTION,
+        StageKind.METERS,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: a primitive kind plus sizing parameters."""
+
+    name: str
+    kind: StageKind
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [
+            key for key in _REQUIRED_PARAMS[self.kind] if key not in self.params
+        ]
+        if missing:
+            raise CompileError(
+                f"stage {self.name!r} ({self.kind.value}) missing parameters: "
+                f"{missing}"
+            )
+
+    def param(self, key: str) -> int:
+        return int(self.params[key])
+
+
+@dataclass
+class PipelineSpec:
+    """A complete packet-processing pipeline, ready to price and build."""
+
+    name: str
+    stages: list[Stage]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise CompileError(f"pipeline {self.name!r} has no stages")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise CompileError(f"pipeline {self.name!r} has duplicate stage names")
+
+    @property
+    def chain_depth(self) -> int:
+        """Match-action chain length (the §5.3 "3-4 stages" metric)."""
+        return sum(1 for s in self.stages if s.kind in CHAIN_STAGE_KINDS)
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Total registered stages (sets per-packet latency in cycles)."""
+        return len(self.stages)
+
+    def stages_of(self, kind: StageKind) -> list[Stage]:
+        return [s for s in self.stages if s.kind is kind]
+
+    def table_stages(self) -> list[Stage]:
+        return [
+            s
+            for s in self.stages
+            if s.kind
+            in (StageKind.EXACT_TABLE, StageKind.LPM_TABLE, StageKind.TERNARY_TABLE)
+        ]
+
+    def validate(self) -> None:
+        """Structural sanity: parser before tables, deparser last if present."""
+        kinds = [s.kind for s in self.stages]
+        if StageKind.PARSER in kinds:
+            first_table = next(
+                (i for i, k in enumerate(kinds) if k.name.endswith("TABLE")),
+                None,
+            )
+            parser_index = kinds.index(StageKind.PARSER)
+            if first_table is not None and parser_index > first_table:
+                raise CompileError(
+                    f"pipeline {self.name!r}: parser must precede table lookups"
+                )
+        if StageKind.DEPARSER in kinds and kinds[-1] is not StageKind.DEPARSER:
+            trailing = {StageKind.FIFO, StageKind.DEPARSER}
+            tail = kinds[kinds.index(StageKind.DEPARSER) :]
+            if any(k not in trailing for k in tail):
+                raise CompileError(
+                    f"pipeline {self.name!r}: only FIFOs may follow the deparser"
+                )

@@ -1,0 +1,29 @@
+"""Workload generation and telemetry collection."""
+
+from .collector import CollectorState, FlowAggregate, TelemetryCollector
+from .flows import FlowSetGenerator, FlowSpec, flow_packets
+from .impairments import ImpairedPort
+from .traffic import (
+    IMIX_MIX,
+    CbrSource,
+    ImixSource,
+    PoissonSource,
+    TrafficSource,
+    default_factory,
+)
+
+__all__ = [
+    "CbrSource",
+    "CollectorState",
+    "FlowAggregate",
+    "FlowSetGenerator",
+    "FlowSpec",
+    "IMIX_MIX",
+    "ImixSource",
+    "ImpairedPort",
+    "PoissonSource",
+    "TelemetryCollector",
+    "TrafficSource",
+    "default_factory",
+    "flow_packets",
+]

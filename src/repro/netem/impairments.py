@@ -1,0 +1,72 @@
+"""Link impairments: loss, jitter, and flapping for fault-path testing.
+
+The link-health use case (§3) only matters on imperfect links; this
+module provides them.  An :class:`ImpairedPort` behaves like a normal
+:class:`~repro.sim.link.Port` but applies seeded random loss and jitter
+to *received* frames, and can be "flapped" (forced dark) for intervals —
+the substrate for exercising fiber-break and flap detection end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+from ..packet import Packet
+from ..sim.engine import Simulator
+from ..sim.link import Port
+from ..sim.stats import Counter
+
+
+class ImpairedPort(Port):
+    """A port whose receive side models an imperfect link.
+
+    * ``loss_probability`` — i.i.d. drop chance per frame.
+    * ``jitter_s`` — uniform extra delay in ``[0, jitter_s]`` per frame.
+    * :meth:`flap` — go dark for a duration (all frames dropped), as a
+      fiber disconnect/reconnect does.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float = 10e9,
+        loss_probability: float = 0.0,
+        jitter_s: float = 0.0,
+        seed: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, name, rate_bps=rate_bps, **kwargs)
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigError("loss probability must be in [0, 1)")
+        if jitter_s < 0:
+            raise ConfigError("jitter must be non-negative")
+        self.loss_probability = loss_probability
+        self.jitter_s = jitter_s
+        self._rng = random.Random(seed)
+        self._dark_until = -1.0
+        self.impairment_drops = Counter(f"{name}.impairment_drops")
+        self.flaps = 0
+
+    def flap(self, duration_s: float) -> None:
+        """Take the link dark for ``duration_s`` starting now."""
+        if duration_s <= 0:
+            raise ConfigError("flap duration must be positive")
+        self._dark_until = max(self._dark_until, self.sim.now + duration_s)
+        self.flaps += 1
+
+    @property
+    def is_dark(self) -> bool:
+        return self.sim.now < self._dark_until
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.is_dark or self._rng.random() < self.loss_probability:
+            self.impairment_drops.count(packet.wire_len)
+            return
+        if self.jitter_s > 0:
+            self.sim.schedule(
+                self._rng.uniform(0.0, self.jitter_s), super()._deliver, packet
+            )
+            return
+        super()._deliver(packet)

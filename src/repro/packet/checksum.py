@@ -1,0 +1,76 @@
+"""Internet checksum arithmetic (RFC 1071) and incremental updates (RFC 1624).
+
+The incremental form matters for this reproduction: the FlexSFP NAT case
+study rewrites source IP addresses at line rate, and hardware pipelines use
+the RFC 1624 update (a handful of adders) instead of recomputing the whole
+checksum.  The functional simulator uses the same formulation so tests can
+assert that incremental and full recomputation agree.
+"""
+
+from __future__ import annotations
+
+
+def ones_complement_sum(data: bytes | memoryview, initial: int = 0) -> int:
+    """16-bit one's-complement sum of ``data`` (odd lengths zero-padded)."""
+    total = initial
+    view = memoryview(data)
+    length = len(view)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        total += (view[i] << 8) | view[i + 1]
+    if length % 2:
+        total += view[length - 1] << 8
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes | memoryview, initial: int = 0) -> int:
+    """RFC 1071 internet checksum over ``data``."""
+    return (~ones_complement_sum(data, initial)) & 0xFFFF
+
+
+def pseudo_header_v4(src: int, dst: int, proto: int, length: int) -> bytes:
+    """IPv4 pseudo header used by TCP/UDP checksums."""
+    return (
+        src.to_bytes(4, "big")
+        + dst.to_bytes(4, "big")
+        + bytes([0, proto])
+        + length.to_bytes(2, "big")
+    )
+
+
+def pseudo_header_v6(src: int, dst: int, proto: int, length: int) -> bytes:
+    """IPv6 pseudo header used by TCP/UDP/ICMPv6 checksums."""
+    return (
+        src.to_bytes(16, "big")
+        + dst.to_bytes(16, "big")
+        + length.to_bytes(4, "big")
+        + bytes([0, 0, 0, proto])
+    )
+
+
+def l4_checksum(pseudo: bytes, segment: bytes | memoryview) -> int:
+    """Transport checksum over a pseudo header plus the L4 segment."""
+    return internet_checksum(segment, initial=ones_complement_sum(pseudo))
+
+
+def incremental_update16(checksum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 eqn. 3 update of ``checksum`` for one rewritten 16-bit word.
+
+    ``HC' = ~(~HC + ~m + m')`` where ``m``/``m'`` are the old/new field
+    values.  All values are 16-bit.
+    """
+    chk = (~checksum) & 0xFFFF
+    chk += (~old_word) & 0xFFFF
+    chk += new_word & 0xFFFF
+    while chk >> 16:
+        chk = (chk & 0xFFFF) + (chk >> 16)
+    return (~chk) & 0xFFFF
+
+
+def incremental_update32(checksum: int, old_value: int, new_value: int) -> int:
+    """RFC 1624 update for a rewritten 32-bit field (e.g. an IPv4 address)."""
+    chk = incremental_update16(checksum, (old_value >> 16) & 0xFFFF, (new_value >> 16) & 0xFFFF)
+    return incremental_update16(chk, old_value & 0xFFFF, new_value & 0xFFFF)

@@ -1,0 +1,165 @@
+"""A compact DNS message codec.
+
+The FlexSFP DNS/DoH filtering use case (P4DDPI-style, paper §3) only needs
+the query section: hardware parsers match on QNAME labels and QTYPE.  We
+implement the full header plus the question section with label compression
+*decoding* (compression never appears in questions we generate ourselves).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .._util import check_range
+from ..errors import ParseError, SerializationError
+
+_DNS_HDR = struct.Struct("!HHHHHH")
+
+MAX_NAME_LEN = 255
+MAX_LABEL_LEN = 63
+
+
+class QType:
+    """Common DNS query types."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    AAAA = 28
+    HTTPS = 65
+    ANY = 255
+
+
+class DNSQuestion:
+    """One entry of the DNS question section."""
+
+    def __init__(self, qname: str, qtype: int = QType.A, qclass: int = 1) -> None:
+        self.qname = qname.rstrip(".").lower()
+        self.qtype = check_range("qtype", qtype, 16)
+        self.qclass = check_range("qclass", qclass, 16)
+
+    def pack(self) -> bytes:
+        return encode_name(self.qname) + struct.pack("!HH", self.qtype, self.qclass)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DNSQuestion)
+            and other.qname == self.qname
+            and other.qtype == self.qtype
+            and other.qclass == self.qclass
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DNSQuestion({self.qname!r}, qtype={self.qtype})"
+
+
+class DNSMessage:
+    """DNS header plus question section; answers are kept as raw bytes."""
+
+    def __init__(
+        self,
+        txid: int = 0,
+        flags: int = 0x0100,  # standard query, recursion desired
+        questions: list[DNSQuestion] | None = None,
+        raw_records: bytes = b"",
+        ancount: int = 0,
+        nscount: int = 0,
+        arcount: int = 0,
+    ) -> None:
+        self.txid = check_range("txid", txid, 16)
+        self.flags = check_range("flags", flags, 16)
+        self.questions = list(questions or [])
+        self.raw_records = bytes(raw_records)
+        self.ancount = check_range("ancount", ancount, 16)
+        self.nscount = check_range("nscount", nscount, 16)
+        self.arcount = check_range("arcount", arcount, 16)
+
+    @property
+    def is_query(self) -> bool:
+        return not self.flags & 0x8000
+
+    def pack(self) -> bytes:
+        head = _DNS_HDR.pack(
+            self.txid,
+            self.flags,
+            len(self.questions),
+            self.ancount,
+            self.nscount,
+            self.arcount,
+        )
+        return head + b"".join(q.pack() for q in self.questions) + self.raw_records
+
+    @classmethod
+    def parse(cls, data: bytes | memoryview) -> "DNSMessage":
+        view = memoryview(data)
+        if len(view) < 12:
+            raise ParseError("truncated DNS header")
+        txid, flags, qdcount, ancount, nscount, arcount = _DNS_HDR.unpack_from(view, 0)
+        offset = 12
+        questions = []
+        for _ in range(qdcount):
+            qname, offset = decode_name(view, offset)
+            if offset + 4 > len(view):
+                raise ParseError("truncated DNS question")
+            qtype, qclass = struct.unpack_from("!HH", view, offset)
+            offset += 4
+            questions.append(DNSQuestion(qname, qtype, qclass))
+        return cls(
+            txid,
+            flags,
+            questions,
+            raw_records=bytes(view[offset:]),
+            ancount=ancount,
+            nscount=nscount,
+            arcount=arcount,
+        )
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name into DNS label format."""
+    name = name.rstrip(".")
+    out = bytearray()
+    if name:
+        for label in name.split("."):
+            raw = label.encode("idna") if not label.isascii() else label.encode()
+            if not raw:
+                raise SerializationError(f"empty label in domain name {name!r}")
+            if len(raw) > MAX_LABEL_LEN:
+                raise SerializationError(f"label too long in {name!r}")
+            out.append(len(raw))
+            out += raw
+    out.append(0)
+    if len(out) > MAX_NAME_LEN:
+        raise SerializationError(f"domain name too long: {name!r}")
+    return bytes(out)
+
+
+def decode_name(view: memoryview, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) name; return ``(name, next_offset)``."""
+    labels: list[str] = []
+    jumps = 0
+    next_offset: int | None = None
+    while True:
+        if offset >= len(view):
+            raise ParseError("truncated DNS name")
+        length = view[offset]
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if offset + 2 > len(view):
+                raise ParseError("truncated DNS compression pointer")
+            if next_offset is None:
+                next_offset = offset + 2
+            offset = ((length & 0x3F) << 8) | view[offset + 1]
+            jumps += 1
+            if jumps > 32:
+                raise ParseError("DNS compression pointer loop")
+            continue
+        if length > MAX_LABEL_LEN:
+            raise ParseError(f"bad DNS label length {length}")
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > len(view):
+            raise ParseError("truncated DNS label")
+        labels.append(bytes(view[offset : offset + length]).decode("ascii", "replace"))
+        offset += length
+    return ".".join(labels).lower(), (next_offset if next_offset is not None else offset)

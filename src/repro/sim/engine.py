@@ -1,0 +1,162 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, deterministic event loop: events are ``(time, seq)``
+ordered, where ``seq`` is a monotonically increasing tiebreaker so that
+same-timestamp events fire in scheduling order.  Time is a float in seconds;
+at 10 Gbps a 64-byte frame lasts ~67 ns, comfortably inside double precision
+for the simulated horizons used here (milliseconds to seconds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """Handle returned by ``schedule``; allows O(1) cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The event loop.
+
+    Components keep a reference to the simulator, call
+    :meth:`schedule`/:meth:`schedule_at` to arrange callbacks, and read
+    :attr:`now` for the current simulation time.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[EventHandle] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, when: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when}, now={self._now})"
+            )
+        self._seq += 1
+        event = EventHandle(when, self._seq, callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_next_time(self) -> float | None:
+        """Timestamp of the next pending event, if any."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run a single event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the queue drains, ``until``, or ``max_events``.
+
+        Returns the simulation time when the run stopped.  When ``until`` is
+        given, time is advanced to exactly ``until`` even if the queue drains
+        earlier (so rate meters read consistent windows).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.peek_next_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class PeriodicTask:
+    """Re-arms a callback every ``interval`` seconds until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        start_after: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self._stopped = False
+        self._handle = sim.schedule(
+            interval if start_after is None else start_after, self._fire
+        )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        if not self._stopped:
+            self._handle = self.sim.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        """Stop the periodic task (pending occurrence is cancelled)."""
+        self._stopped = True
+        self._handle.cancel()

@@ -1,0 +1,144 @@
+"""Ports and links: the packet-transport fabric of the simulator.
+
+A :class:`Port` is one direction-agnostic attachment point owned by a device
+(host NIC, switch port, FlexSFP interface).  Connecting two ports creates a
+full-duplex link; each direction models store-and-forward transmission with
+a bounded output FIFO (tail drop), per-frame serialization at the port rate,
+and constant propagation delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..errors import SimulationError
+from ..packet import Packet
+from .engine import Simulator
+from .mac import serialization_time
+from .stats import Counter
+
+PacketHandler = Callable[["Port", Packet], None]
+
+# Default propagation: 10 m of fiber at ~5 ns/m.
+DEFAULT_PROPAGATION_S = 50e-9
+DEFAULT_QUEUE_BYTES = 512 * 1024
+
+
+class Port:
+    """A full-duplex network port with an egress FIFO.
+
+    ``send`` enqueues a frame for transmission; the port serializes frames
+    back-to-back at ``rate_bps`` and delivers them to the connected peer
+    after the link's propagation delay.  Received frames are handed to the
+    attached handler (set by the owning device via :meth:`attach`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float = 10e9,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.queue_bytes = queue_bytes
+        self._peer: Port | None = None
+        self._propagation_s = DEFAULT_PROPAGATION_S
+        self._handler: PacketHandler | None = None
+        self._tx_fifo: deque[Packet] = deque()
+        self._tx_fifo_bytes = 0
+        self._tx_busy = False
+        self.tx = Counter(f"{name}.tx")
+        self.rx = Counter(f"{name}.rx")
+        self.drops = Counter(f"{name}.drops")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, handler: PacketHandler) -> None:
+        """Register the owner's receive callback."""
+        self._handler = handler
+
+    def connect(self, peer: "Port", propagation_s: float = DEFAULT_PROPAGATION_S) -> None:
+        """Create a full-duplex link between this port and ``peer``."""
+        if self._peer is not None or peer._peer is not None:
+            raise SimulationError(
+                f"port already connected: {self.name} or {peer.name}"
+            )
+        self._peer = peer
+        peer._peer = self
+        self._propagation_s = propagation_s
+        peer._propagation_s = propagation_s
+
+    def disconnect(self) -> None:
+        """Tear down the link (queued frames are dropped)."""
+        if self._peer is not None:
+            self._peer._peer = None
+            self._peer = None
+        self._tx_fifo.clear()
+        self._tx_fifo_bytes = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._peer is not None
+
+    @property
+    def peer(self) -> "Port | None":
+        return self._peer
+
+    @property
+    def queue_depth_bytes(self) -> int:
+        """Bytes currently waiting in the egress FIFO."""
+        return self._tx_fifo_bytes
+
+    @property
+    def queue_depth_packets(self) -> int:
+        return len(self._tx_fifo)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission; False on tail drop."""
+        if self._peer is None:
+            self.drops.count(packet.wire_len)
+            return False
+        size = packet.wire_len
+        if self._tx_fifo_bytes + size > self.queue_bytes:
+            self.drops.count(size)
+            return False
+        self._tx_fifo.append(packet)
+        self._tx_fifo_bytes += size
+        if not self._tx_busy:
+            self._start_next_tx()
+        return True
+
+    def _start_next_tx(self) -> None:
+        if not self._tx_fifo:
+            self._tx_busy = False
+            return
+        self._tx_busy = True
+        packet = self._tx_fifo.popleft()
+        self._tx_fifo_bytes -= packet.wire_len
+        tx_time = serialization_time(packet.wire_len, self.rate_bps)
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.tx.count(packet.wire_len)
+        peer = self._peer
+        if peer is not None:
+            self.sim.schedule(self._propagation_s, peer._deliver, packet)
+        self._start_next_tx()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.rx.count(packet.wire_len)
+        if self._handler is not None:
+            self._handler(self, packet)
+
+
+def connect(a: Port, b: Port, propagation_s: float = DEFAULT_PROPAGATION_S) -> None:
+    """Module-level convenience mirroring :meth:`Port.connect`."""
+    a.connect(b, propagation_s)

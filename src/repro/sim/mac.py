@@ -1,0 +1,57 @@
+"""Ethernet MAC-layer arithmetic: framing overheads and line-rate limits.
+
+The paper's line-rate claims (10 Gbps NAT at 156.25 MHz × 64 bit) are only
+meaningful against correct Ethernet accounting: every frame occupies
+``preamble + frame + FCS + IFG`` on the wire, so 10GbE tops out at
+14.88 Mpps for minimum-size frames.  These helpers centralize that math.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+PREAMBLE_BYTES = 8  # preamble (7) + SFD (1)
+FCS_BYTES = 4
+IFG_BYTES = 12
+PER_FRAME_OVERHEAD = PREAMBLE_BYTES + FCS_BYTES + IFG_BYTES  # 24 bytes
+
+MIN_FRAME_BYTES = 64  # including FCS
+MAX_FRAME_BYTES = 1518  # including FCS, untagged
+JUMBO_FRAME_BYTES = 9018
+
+
+def frame_wire_bytes(frame_len_no_fcs: int) -> int:
+    """Bytes a frame occupies on the wire including preamble, FCS, and IFG.
+
+    ``frame_len_no_fcs`` is the L2 frame without FCS (what
+    ``Packet.wire_len`` reports); short frames are padded to the 64-byte
+    minimum like a real MAC does.
+    """
+    if frame_len_no_fcs < 0:
+        raise ConfigError("negative frame length")
+    framed = max(frame_len_no_fcs + FCS_BYTES, MIN_FRAME_BYTES)
+    return framed + PREAMBLE_BYTES + IFG_BYTES
+
+
+def serialization_time(frame_len_no_fcs: int, rate_bps: float) -> float:
+    """Seconds a frame occupies the wire at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ConfigError("rate must be positive")
+    return frame_wire_bytes(frame_len_no_fcs) * 8 / rate_bps
+
+
+def max_frame_rate(rate_bps: float, frame_len_no_fcs: int) -> float:
+    """Theoretical frames/second ceiling for back-to-back frames."""
+    return rate_bps / (frame_wire_bytes(frame_len_no_fcs) * 8)
+
+
+def goodput_fraction(frame_len_no_fcs: int) -> float:
+    """Fraction of raw line rate available to the frame itself (no FCS)."""
+    return frame_len_no_fcs * 8 / (frame_wire_bytes(frame_len_no_fcs) * 8)
+
+
+def line_rate_packets(rate_bps: float, frame_len_no_fcs: int, duration: float) -> int:
+    """How many back-to-back frames fit into ``duration`` seconds."""
+    if duration < 0:
+        raise ConfigError("negative duration")
+    return int(max_frame_rate(rate_bps, frame_len_no_fcs) * duration)

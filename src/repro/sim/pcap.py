@@ -1,0 +1,81 @@
+"""Minimal classic-pcap (libpcap) file writer/reader.
+
+Used by examples and tests to persist simulated traffic in a format any
+standard tool can open.  Only LINKTYPE_ETHERNET with microsecond timestamps
+is supported — exactly what the toolkit generates.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from ..errors import ConfigError, ParseError
+
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_RECORD_HDR = struct.Struct("<IIII")
+
+
+class PcapWriter:
+    """Streams ``(timestamp, frame_bytes)`` records to a pcap file."""
+
+    def __init__(self, path: str | Path, snaplen: int = 65535) -> None:
+        self.path = Path(path)
+        self._file: BinaryIO = open(self.path, "wb")
+        self._file.write(
+            _GLOBAL_HDR.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET)
+        )
+        self.snaplen = snaplen
+        self.records = 0
+
+    def write(self, timestamp: float, frame: bytes) -> None:
+        """Append one frame captured at ``timestamp`` (seconds)."""
+        if timestamp < 0:
+            raise ConfigError("negative pcap timestamp")
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros == 1_000_000:
+            seconds, micros = seconds + 1, 0
+        captured = frame[: self.snaplen]
+        self._file.write(
+            _RECORD_HDR.pack(seconds, micros, len(captured), len(frame))
+        )
+        self._file.write(captured)
+        self.records += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_pcap(path: str | Path) -> Iterator[tuple[float, bytes]]:
+    """Yield ``(timestamp, frame_bytes)`` records from a classic pcap file."""
+    with open(path, "rb") as handle:
+        header = handle.read(_GLOBAL_HDR.size)
+        if len(header) < _GLOBAL_HDR.size:
+            raise ParseError("truncated pcap global header")
+        magic = struct.unpack_from("<I", header)[0]
+        if magic != PCAP_MAGIC:
+            raise ParseError(f"unsupported pcap magic {magic:#x}")
+        linktype = _GLOBAL_HDR.unpack(header)[6]
+        if linktype != LINKTYPE_ETHERNET:
+            raise ParseError(f"unsupported linktype {linktype}")
+        while True:
+            record = handle.read(_RECORD_HDR.size)
+            if not record:
+                return
+            if len(record) < _RECORD_HDR.size:
+                raise ParseError("truncated pcap record header")
+            seconds, micros, caplen, _ = _RECORD_HDR.unpack(record)
+            frame = handle.read(caplen)
+            if len(frame) < caplen:
+                raise ParseError("truncated pcap record body")
+            yield seconds + micros / 1_000_000, frame

@@ -1,0 +1,22 @@
+"""Legacy switch, hosts, and the FlexSFP retrofit machinery."""
+
+from .host import Host
+from .legacy import (
+    DEFAULT_MAC_TABLE_SIZE,
+    SWITCH_PIPELINE_LATENCY_S,
+    LegacySwitch,
+    SfpCage,
+)
+from .retrofit import PortPolicy, RetrofitPlan, RetrofitResult, apply_retrofit
+
+__all__ = [
+    "DEFAULT_MAC_TABLE_SIZE",
+    "Host",
+    "LegacySwitch",
+    "PortPolicy",
+    "RetrofitPlan",
+    "RetrofitResult",
+    "SWITCH_PIPELINE_LATENCY_S",
+    "SfpCage",
+    "apply_retrofit",
+]

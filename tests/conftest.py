@@ -1,0 +1,38 @@
+"""Shared fixtures for the FlexSFP reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ppe import Direction, PPEContext
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def make_ctx(
+    direction: Direction = Direction.EDGE_TO_LINE,
+    time_ns: int = 0,
+    device_id: int = 0,
+    queue_depth: int = 0,
+) -> PPEContext:
+    """Build a PPE context for direct application-level tests."""
+    return PPEContext(
+        time_ns=time_ns,
+        direction=direction,
+        device_id=device_id,
+        queue_depth=queue_depth,
+    )
+
+
+@pytest.fixture
+def ctx_edge() -> PPEContext:
+    return make_ctx(Direction.EDGE_TO_LINE)
+
+
+@pytest.fixture
+def ctx_line() -> PPEContext:
+    return make_ctx(Direction.LINE_TO_EDGE)

@@ -1,0 +1,135 @@
+"""DNS/DoH filter and packet sanitizer applications."""
+
+import pytest
+
+from repro.apps import DnsFilter, PacketSanitizer, Passthrough, domain_suffixes
+from repro.core import Verdict
+from repro.packet import IPv4, Packet, make_dns_query, make_tcp, make_udp
+from tests.conftest import make_ctx
+
+
+class TestDomainSuffixes:
+    def test_expansion(self):
+        assert domain_suffixes("a.b.c") == ["a.b.c", "b.c", "c"]
+
+    def test_case_and_dot_normalization(self):
+        assert domain_suffixes("WWW.Example.COM.") == [
+            "www.example.com",
+            "example.com",
+            "com",
+        ]
+
+
+class TestDnsFilter:
+    @pytest.fixture
+    def filt(self):
+        app = DnsFilter()
+        app.block_domain("evil.example")
+        app.add_doh_resolver("1.1.1.1")
+        return app
+
+    def test_blocked_domain_dropped(self, filt):
+        packet = make_dns_query("evil.example")
+        assert filt.process(packet, make_ctx()) is Verdict.DROP
+
+    def test_subdomain_blocked(self, filt):
+        packet = make_dns_query("tracker.evil.example")
+        assert filt.process(packet, make_ctx()) is Verdict.DROP
+
+    def test_sibling_domain_allowed(self, filt):
+        packet = make_dns_query("good.example")
+        assert filt.process(packet, make_ctx()) is Verdict.PASS
+        assert filt.counter("dns_allowed").packets == 1
+
+    def test_case_insensitive(self, filt):
+        packet = make_dns_query("EVIL.Example")
+        assert filt.process(packet, make_ctx()) is Verdict.DROP
+
+    def test_doh_resolver_blocked(self, filt):
+        packet = make_tcp(dst_ip="1.1.1.1", dport=443)
+        assert filt.process(packet, make_ctx()) is Verdict.DROP
+        assert filt.counter("doh_blocked").packets == 1
+
+    def test_https_to_other_hosts_allowed(self, filt):
+        packet = make_tcp(dst_ip="93.184.216.34", dport=443)
+        assert filt.process(packet, make_ctx()) is Verdict.PASS
+
+    def test_doh_blocking_disabled(self):
+        app = DnsFilter(block_doh=False)
+        app.add_doh_resolver("1.1.1.1")
+        packet = make_tcp(dst_ip="1.1.1.1", dport=443)
+        assert app.process(packet, make_ctx()) is Verdict.PASS
+
+    def test_non_dns_udp_passes(self, filt):
+        assert filt.process(make_udp(dport=123), make_ctx()) is Verdict.PASS
+
+    def test_malformed_dns_payload_passes(self, filt):
+        packet = make_udp(dport=53, payload=b"\x01\x02")
+        assert filt.process(packet, make_ctx()) is Verdict.PASS
+
+
+class TestSanitizer:
+    def test_clean_packet_passes(self):
+        sanitizer = PacketSanitizer()
+        packet = Packet.parse(make_udp().to_bytes())
+        assert sanitizer.process(packet, make_ctx()) is Verdict.PASS
+        assert sanitizer.counter("clean").packets == 1
+
+    def test_bad_checksum_dropped(self):
+        sanitizer = PacketSanitizer()
+        packet = Packet.parse(make_udp().to_bytes())
+        packet.ipv4.src = 0x01020304  # corrupt without re-checksumming
+        assert sanitizer.process(packet, make_ctx()) is Verdict.DROP
+
+    def test_unset_checksum_tolerated(self):
+        # Packets built in-sim (checksum 0) are not "corrupt".
+        sanitizer = PacketSanitizer()
+        assert sanitizer.process(make_udp(), make_ctx()) is Verdict.PASS
+
+    def test_expired_ttl_dropped(self):
+        sanitizer = PacketSanitizer()
+        packet = make_udp(ttl=0)
+        assert sanitizer.process(packet, make_ctx()) is Verdict.DROP
+
+    def test_martian_sources_dropped(self):
+        sanitizer = PacketSanitizer()
+        for src in ("127.0.0.1", "0.0.0.1", "240.0.0.1"):
+            assert (
+                sanitizer.process(make_udp(src_ip=src), make_ctx()) is Verdict.DROP
+            ), src
+
+    def test_martian_check_can_be_disabled(self):
+        sanitizer = PacketSanitizer(drop_martians=False)
+        assert sanitizer.process(make_udp(src_ip="127.0.0.1"), make_ctx()) is Verdict.PASS
+
+    def test_ipv4_options_stripped(self):
+        sanitizer = PacketSanitizer()
+        packet = make_udp()
+        packet.ipv4.options = b"\x07\x04\x00\x00"  # deprecated record-route
+        assert sanitizer.process(packet, make_ctx()) is Verdict.PASS
+        assert packet.ipv4.options == b""
+        assert sanitizer.counter("options_stripped").packets == 1
+
+    def test_runt_udp_payload(self):
+        sanitizer = PacketSanitizer(min_udp_payload=8)
+        assert sanitizer.process(make_udp(payload=b"abc"), make_ctx()) is Verdict.DROP
+        assert (
+            sanitizer.process(make_udp(payload=b"x" * 8), make_ctx()) is Verdict.PASS
+        )
+
+    def test_non_ip_passes(self):
+        from repro.packet import Ethernet
+
+        sanitizer = PacketSanitizer()
+        assert sanitizer.process(Packet([Ethernet()], b""), make_ctx()) is Verdict.PASS
+
+
+class TestPassthrough:
+    def test_counts_and_passes(self):
+        app = Passthrough()
+        assert app.process(make_udp(), make_ctx()) is Verdict.PASS
+        assert app.counter("passed").packets == 1
+
+    def test_minimal_pipeline(self):
+        spec = Passthrough().pipeline_spec()
+        assert spec.chain_depth == 0

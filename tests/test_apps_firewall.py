@@ -1,0 +1,109 @@
+"""ACL firewall application."""
+
+import pytest
+
+from repro.apps import AclFirewall, AclRule, five_tuple_key
+from repro.core import Verdict
+from repro.errors import ConfigError
+from repro.packet import make_tcp, make_udp, make_udp6
+from tests.conftest import make_ctx
+
+
+class TestRuleCompilation:
+    def test_exact_host_rule(self):
+        value, mask = AclRule("deny", src="10.0.0.1").key_mask()
+        assert mask == 0xFFFFFFFF << 72
+        assert value == 0x0A000001 << 72
+
+    def test_prefix_rule(self):
+        value, mask = AclRule("deny", src="10.0.0.0/8").key_mask()
+        assert mask == 0xFF000000 << 72
+
+    def test_port_and_proto_rule(self):
+        value, mask = AclRule("permit", proto=6, dport=443).key_mask()
+        assert mask == (0xFF << 32) | 0xFFFF
+        assert value == (6 << 32) | 443
+
+    def test_wildcard_rule(self):
+        value, mask = AclRule("permit").key_mask()
+        assert value == 0 and mask == 0
+
+    def test_invalid_action(self):
+        with pytest.raises(ConfigError):
+            AclRule("allow")
+
+    def test_invalid_prefix(self):
+        with pytest.raises(ConfigError):
+            AclRule("deny", src="10.0.0.0/33").key_mask()
+
+
+class TestFiltering:
+    def test_default_permit(self):
+        firewall = AclFirewall()
+        assert firewall.process(make_udp(), make_ctx()) is Verdict.PASS
+
+    def test_default_deny(self):
+        firewall = AclFirewall(default_action="deny")
+        assert firewall.process(make_udp(), make_ctx()) is Verdict.DROP
+
+    def test_deny_rule_matches(self):
+        firewall = AclFirewall()
+        firewall.add_rule(AclRule("deny", src="10.0.0.0/8", priority=10))
+        assert firewall.process(make_udp(src_ip="10.1.2.3"), make_ctx()) is Verdict.DROP
+        assert firewall.process(make_udp(src_ip="11.1.2.3"), make_ctx()) is Verdict.PASS
+
+    def test_priority_permit_overrides_deny(self):
+        firewall = AclFirewall()
+        firewall.add_rule(AclRule("deny", src="10.0.0.0/8", priority=1))
+        firewall.add_rule(AclRule("permit", src="10.0.0.5", priority=100))
+        assert firewall.process(make_udp(src_ip="10.0.0.5"), make_ctx()) is Verdict.PASS
+        assert firewall.process(make_udp(src_ip="10.0.0.6"), make_ctx()) is Verdict.DROP
+
+    def test_port_filtering(self):
+        firewall = AclFirewall()
+        firewall.add_rule(AclRule("deny", proto=6, dport=23, priority=5))
+        assert firewall.process(make_tcp(dport=23), make_ctx()) is Verdict.DROP
+        assert firewall.process(make_tcp(dport=22), make_ctx()) is Verdict.PASS
+        # UDP to port 23 is a different protocol: not matched.
+        assert firewall.process(make_udp(dport=23), make_ctx()) is Verdict.PASS
+
+    def test_ipv6_falls_to_default(self):
+        firewall = AclFirewall(default_action="deny")
+        assert firewall.process(make_udp6(), make_ctx()) is Verdict.DROP
+
+    def test_install_ruleset_atomic(self):
+        firewall = AclFirewall()
+        firewall.add_rule(AclRule("deny", src="1.1.1.1", priority=1))
+        firewall.install_ruleset(
+            [
+                AclRule("deny", src="2.2.2.2", priority=1),
+                AclRule("permit", priority=0),
+            ]
+        )
+        assert firewall.process(make_udp(src_ip="1.1.1.1"), make_ctx()) is Verdict.PASS
+        assert firewall.process(make_udp(src_ip="2.2.2.2"), make_ctx()) is Verdict.DROP
+
+    def test_counters(self):
+        firewall = AclFirewall(default_action="deny")
+        firewall.add_rule(AclRule("permit", dst="8.8.8.8", priority=1))
+        firewall.process(make_udp(dst_ip="8.8.8.8"), make_ctx())
+        firewall.process(make_udp(dst_ip="9.9.9.9"), make_ctx())
+        assert firewall.counter("permitted").packets == 1
+        assert firewall.counter("denied").packets == 1
+
+
+class TestSynthesis:
+    def test_key_packing_width(self):
+        key = five_tuple_key(0xFFFFFFFF, 0xFFFFFFFF, 0xFF, 0xFFFF, 0xFFFF)
+        assert key == (1 << 104) - 1
+
+    def test_pipeline_has_ternary_stage(self):
+        from repro.hls import StageKind
+
+        spec = AclFirewall(capacity=128).pipeline_spec()
+        kinds = [s.kind for s in spec.stages]
+        assert StageKind.TERNARY_TABLE in kinds
+
+    def test_default_action_validated(self):
+        with pytest.raises(ConfigError):
+            AclFirewall(default_action="nope")

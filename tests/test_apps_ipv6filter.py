@@ -1,0 +1,91 @@
+"""Per-subscriber IPv6 filtering (§2.1)."""
+
+import pytest
+
+from repro.apps import Ipv6Filter, create_app
+from repro.core import ShellSpec, Verdict
+from repro.errors import ConfigError
+from repro.hls import compile_app
+from repro.packet import Ethernet, EtherType, IPProto, IPv4, IPv6, Packet, make_udp, make_udp6
+from tests.conftest import make_ctx
+
+
+def icmpv6_packet():
+    return Packet(
+        [
+            Ethernet("02:00:00:00:00:02", "02:00:00:00:00:01", EtherType.IPV6),
+            IPv6("fe80::1", "ff02::1", next_header=IPProto.ICMPV6),
+        ],
+        b"\x87\x00\x00\x00",  # neighbor solicitation-ish
+    )
+
+
+def sixin4_packet():
+    inner = IPv6("2001:db8::1", "2001:db8::2", next_header=IPProto.UDP)
+    return Packet(
+        [
+            Ethernet("02:00:00:00:00:02", "02:00:00:00:00:01", EtherType.IPV4),
+            IPv4("10.0.0.1", "192.0.2.1", proto=41),
+        ],
+        inner.pack(),
+    )
+
+
+class TestBlockAll:
+    def test_ipv6_dropped(self):
+        filt = Ipv6Filter(mode="block-all")
+        assert filt.process(make_udp6(), make_ctx()) is Verdict.DROP
+        assert filt.counter("blocked").packets == 1
+
+    def test_ipv4_unaffected(self):
+        filt = Ipv6Filter(mode="block-all")
+        assert filt.process(make_udp(), make_ctx()) is Verdict.PASS
+
+    def test_6in4_tunnel_blocked(self):
+        filt = Ipv6Filter(mode="block-all")
+        assert filt.process(sixin4_packet(), make_ctx()) is Verdict.DROP
+        assert filt.counter("blocked_6in4").packets == 1
+
+    def test_6in4_allowed_when_disabled(self):
+        filt = Ipv6Filter(mode="block-all", block_6in4=False)
+        assert filt.process(sixin4_packet(), make_ctx()) is Verdict.PASS
+
+
+class TestAllowList:
+    def test_icmpv6_permitted_by_default(self):
+        filt = Ipv6Filter(mode="allow-list")
+        assert filt.process(icmpv6_packet(), make_ctx()) is Verdict.PASS
+        assert filt.counter("allowed").packets == 1
+
+    def test_udp6_blocked(self):
+        filt = Ipv6Filter(mode="allow-list")
+        assert filt.process(make_udp6(), make_ctx()) is Verdict.DROP
+
+    def test_custom_allow_list(self):
+        filt = Ipv6Filter(mode="allow-list", allowed_next_headers=(IPProto.UDP,))
+        assert filt.process(make_udp6(), make_ctx()) is Verdict.PASS
+        assert filt.process(icmpv6_packet(), make_ctx()) is Verdict.DROP
+
+
+class TestMonitorMode:
+    def test_permit_all_counts_only(self):
+        filt = Ipv6Filter(mode="permit-all")
+        assert filt.process(make_udp6(), make_ctx()) is Verdict.PASS
+        assert filt.process(sixin4_packet(), make_ctx()) is Verdict.PASS
+        assert filt.counter("ipv6_seen").packets == 1
+
+
+class TestConfigAndBuild:
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigError):
+            Ipv6Filter(mode="maybe")
+
+    def test_config_roundtrip_via_registry(self):
+        filt = Ipv6Filter(mode="allow-list", allowed_next_headers=(17, 58))
+        clone = create_app("ipv6filter", filt.config())
+        assert clone.mode == "allow-list"
+        assert tuple(clone.allowed_next_headers) == (17, 58)
+
+    def test_compiles_for_prototype(self):
+        result = compile_app(Ipv6Filter(), ShellSpec())
+        assert result.report.fits and result.report.meets_timing

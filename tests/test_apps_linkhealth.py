@@ -1,0 +1,123 @@
+"""Link-health monitor: microbursts, dead intervals, flapping."""
+
+import pytest
+
+from repro.apps import LinkEvent, LinkHealthMonitor, pack_alert, unpack_alert
+from repro.core import Verdict
+from repro.errors import ConfigError
+from repro.packet import make_udp
+from tests.conftest import make_ctx
+
+
+def feed(monitor, arrival_times_ns, device_id=0):
+    """Run packets through the monitor at the given arrival times."""
+    contexts = []
+    for t in arrival_times_ns:
+        ctx = make_ctx(time_ns=t, device_id=device_id)
+        verdict = monitor.process(make_udp(), ctx)
+        assert verdict is Verdict.PASS
+        contexts.append(ctx)
+    return contexts
+
+
+class TestMicroburst:
+    def test_burst_detected(self):
+        monitor = LinkHealthMonitor(burst_gap_ns=100, burst_packets=8)
+        feed(monitor, [i * 50 for i in range(20)])
+        bursts = [e for e in monitor.events if e.kind == "microburst"]
+        assert len(bursts) == 1  # one open burst reported once
+        assert bursts[0].detail_ns > 0
+
+    def test_new_burst_after_idle(self):
+        monitor = LinkHealthMonitor(burst_gap_ns=100, burst_packets=4)
+        times = [i * 50 for i in range(6)]
+        times += [10_000 + i * 50 for i in range(6)]
+        feed(monitor, times)
+        assert sum(1 for e in monitor.events if e.kind == "microburst") == 2
+
+    def test_spread_traffic_not_a_burst(self):
+        monitor = LinkHealthMonitor(burst_gap_ns=100, burst_packets=4)
+        feed(monitor, [i * 10_000 for i in range(50)])
+        assert not [e for e in monitor.events if e.kind == "microburst"]
+
+    def test_alert_emitted(self):
+        monitor = LinkHealthMonitor(burst_gap_ns=100, burst_packets=4)
+        contexts = feed(monitor, [i * 50 for i in range(6)], device_id=42)
+        alerts = [pkt for ctx in contexts for pkt, _ in ctx.emitted]
+        assert alerts
+        device_id, event = unpack_alert(alerts[0].payload)
+        assert device_id == 42 and event.kind == "microburst"
+
+
+class TestDeadIntervals:
+    def test_silence_reported_on_resume(self):
+        monitor = LinkHealthMonitor(dead_interval_ns=1_000_000)
+        feed(monitor, [0, 100, 5_000_000])
+        dead = [e for e in monitor.events if e.kind == "dead-interval"]
+        assert len(dead) == 1
+        assert dead[0].detail_ns == pytest.approx(4_999_900)
+
+    def test_flapping_detected(self):
+        monitor = LinkHealthMonitor(
+            dead_interval_ns=1_000_000, flap_count=3, flap_window_ns=10**9
+        )
+        times = []
+        t = 0
+        for _ in range(4):  # four bursts -> three silences in the window
+            times += [t, t + 100]
+            t += 2_000_000
+        feed(monitor, times)
+        assert [e for e in monitor.events if e.kind == "flapping"]
+
+    def test_slow_flaps_outside_window_ignored(self):
+        monitor = LinkHealthMonitor(
+            dead_interval_ns=1_000_000, flap_count=3, flap_window_ns=5_000_000
+        )
+        times = []
+        t = 0
+        for _ in range(4):
+            times += [t, t + 100]
+            t += 100_000_000  # flaps far apart
+        feed(monitor, times)
+        assert not [e for e in monitor.events if e.kind == "flapping"]
+
+    def test_liveness_poll(self):
+        monitor = LinkHealthMonitor(dead_interval_ns=1_000_000)
+        feed(monitor, [0])
+        assert monitor.check_liveness(500_000)
+        assert not monitor.check_liveness(2_000_000)
+        # Marked as reported: the immediate next poll is quiet again.
+        assert monitor.check_liveness(2_500_000)
+
+    def test_idle_virgin_link_is_alive(self):
+        assert LinkHealthMonitor().check_liveness(10**12)
+
+
+class TestCodecAndConfig:
+    def test_alert_roundtrip(self):
+        event = LinkEvent("flapping", 123_456, 789)
+        device_id, decoded = unpack_alert(pack_alert(9, event))
+        assert device_id == 9 and decoded == event
+
+    def test_config_roundtrip(self):
+        monitor = LinkHealthMonitor(burst_gap_ns=64, burst_packets=16)
+        clone = LinkHealthMonitor(**monitor.config())
+        assert clone.burst_gap_ns == 64 and clone.burst_packets == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LinkHealthMonitor(burst_packets=1)
+        with pytest.raises(ConfigError):
+            LinkHealthMonitor(dead_interval_ns=0)
+
+    def test_registered_in_factory(self):
+        from repro.apps import create_app
+
+        assert isinstance(create_app("linkhealth"), LinkHealthMonitor)
+
+    def test_pipeline_compiles(self):
+        from repro.core import ShellSpec
+        from repro.hls import compile_app
+
+        result = compile_app(LinkHealthMonitor(), ShellSpec())
+        assert result.report.fits and result.report.meets_timing

@@ -1,0 +1,146 @@
+"""VLAN tagger and tunnel gateway applications."""
+
+import pytest
+
+from repro.apps import TunnelGateway, TunnelRoute, VlanTagger
+from repro.core import Direction, Verdict
+from repro.errors import ConfigError
+from repro.packet import GRE, IPv4, Packet, UDP, VLAN, VXLAN, make_udp, vlan_push
+from tests.conftest import make_ctx
+
+
+class TestVlanTagger:
+    def test_tags_edge_to_line(self):
+        tagger = VlanTagger(access_vid=100, pcp=3)
+        packet = make_udp()
+        assert tagger.process(packet, make_ctx(Direction.EDGE_TO_LINE)) is Verdict.PASS
+        tag = packet.get(VLAN)
+        assert tag is not None and tag.vid == 100 and tag.pcp == 3
+
+    def test_untags_line_to_edge(self):
+        tagger = VlanTagger(access_vid=100)
+        packet = make_udp()
+        vlan_push(packet, 100)
+        assert tagger.process(packet, make_ctx(Direction.LINE_TO_EDGE)) is Verdict.PASS
+        assert packet.get(VLAN) is None
+
+    def test_foreign_vid_dropped(self):
+        tagger = VlanTagger(access_vid=100)
+        packet = make_udp()
+        vlan_push(packet, 200)
+        assert tagger.process(packet, make_ctx(Direction.LINE_TO_EDGE)) is Verdict.DROP
+
+    def test_already_tagged_ingress_dropped(self):
+        tagger = VlanTagger(access_vid=100)
+        packet = make_udp()
+        vlan_push(packet, 5)
+        assert tagger.process(packet, make_ctx(Direction.EDGE_TO_LINE)) is Verdict.DROP
+
+    def test_qinq_stacks_service_tag(self):
+        tagger = VlanTagger(access_vid=100, service_vid=500)
+        packet = make_udp()
+        tagger.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        tags = packet.get_all(VLAN)
+        assert [t.vid for t in tags] == [500, 100]
+
+    def test_qinq_roundtrip(self):
+        tagger = VlanTagger(access_vid=100, service_vid=500)
+        packet = make_udp(payload=b"x")
+        before = packet.to_bytes()
+        tagger.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        assert tagger.process(packet, make_ctx(Direction.LINE_TO_EDGE)) is Verdict.PASS
+        assert packet.to_bytes() == before
+
+    def test_vid_validation(self):
+        with pytest.raises(ConfigError):
+            VlanTagger(access_vid=0)
+        with pytest.raises(ConfigError):
+            VlanTagger(access_vid=100, service_vid=4095)
+
+    def test_permissive_mode(self):
+        tagger = VlanTagger(access_vid=100, drop_foreign=False)
+        packet = make_udp()
+        vlan_push(packet, 200)
+        assert tagger.process(packet, make_ctx(Direction.LINE_TO_EDGE)) is Verdict.PASS
+
+
+class TestTunnelGateway:
+    @pytest.fixture
+    def gateway(self):
+        gw = TunnelGateway(local_ip="192.0.2.1", capacity=16)
+        gw.add_route("172.16.0.0", 16, TunnelRoute("gre", "192.0.2.2", key=7))
+        gw.add_route("172.17.0.0", 16, TunnelRoute("vxlan", "192.0.2.3", key=42))
+        gw.add_route("172.18.0.0", 16, TunnelRoute("ipip", "192.0.2.4"))
+        return gw
+
+    def test_gre_encap(self, gateway):
+        packet = make_udp(dst_ip="172.16.5.5")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        assert packet.get(GRE) is not None
+        assert packet.get(GRE).key == 7
+        assert packet.get(IPv4, 0).dst_ip == "192.0.2.2"
+        assert packet.get(IPv4, 1).dst_ip == "172.16.5.5"
+
+    def test_vxlan_encap(self, gateway):
+        packet = make_udp(dst_ip="172.17.5.5")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        assert packet.get(VXLAN).vni == 42
+        assert packet.get(UDP).dport == 4789
+
+    def test_ipip_encap(self, gateway):
+        packet = make_udp(dst_ip="172.18.1.1")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        assert packet.get(IPv4, 0).proto == 4
+        assert packet.get(IPv4, 0).src_ip == "192.0.2.1"
+
+    def test_no_route_passes_unchanged(self, gateway):
+        packet = make_udp(dst_ip="8.8.8.8")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        assert packet.get(GRE) is None and packet.get(VXLAN) is None
+
+    def test_gre_decap_roundtrip(self, gateway):
+        packet = make_udp(dst_ip="172.16.5.5", payload=b"inner")
+        original = packet.copy()
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        # Hairpin the encapsulated packet back at the gateway.
+        returned = Packet.parse(packet.to_bytes())
+        returned.ipv4.dst = gateway._local
+        returned.ipv4.src = 0xC0000202
+        gateway.process(returned, make_ctx(Direction.LINE_TO_EDGE))
+        assert returned.get(GRE) is None
+        assert returned.get(IPv4).dst_ip == "172.16.5.5"
+        assert returned.payload == original.payload
+
+    def test_ipip_decap(self, gateway):
+        packet = make_udp(dst_ip="172.18.1.1")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        wire = Packet.parse(packet.to_bytes())
+        wire.get(IPv4, 0).dst = gateway._local
+        gateway.process(wire, make_ctx(Direction.LINE_TO_EDGE))
+        assert wire.get(IPv4, 1) is None
+        assert wire.ipv4.dst_ip == "172.18.1.1"
+
+    def test_decap_ignores_other_destinations(self, gateway):
+        packet = make_udp(dst_ip="172.16.5.5")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        count_before = len(packet.headers)
+        gateway.process(packet, make_ctx(Direction.LINE_TO_EDGE))
+        # Outer dst is the remote endpoint, not us: untouched.
+        assert len(packet.headers) == count_before
+
+    def test_longest_prefix_route_wins(self, gateway):
+        gateway.add_route("172.16.5.0", 24, TunnelRoute("ipip", "192.0.2.9"))
+        packet = make_udp(dst_ip="172.16.5.5")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        assert packet.get(IPv4, 0).dst_ip == "192.0.2.9"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigError):
+            TunnelRoute("l2tp", "1.2.3.4")
+
+    def test_checksums_valid_after_encap(self, gateway):
+        packet = make_udp(dst_ip="172.16.5.5", payload=b"data")
+        gateway.process(packet, make_ctx(Direction.EDGE_TO_LINE))
+        parsed = Packet.parse(packet.to_bytes())
+        assert parsed.get(IPv4, 0).verify_checksum()
+        assert parsed.get(IPv4, 1).verify_checksum()

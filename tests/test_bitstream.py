@@ -1,0 +1,91 @@
+"""Bitstream artifacts: serialization, integrity, authenticity."""
+
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fpga import Bitstream, ResourceVector, TimingSpec, synthesize_payload
+
+
+def make_bitstream(**overrides) -> Bitstream:
+    params = dict(
+        app_name="nat",
+        shell="one-way-filter",
+        device="MPF200T",
+        timing=TimingSpec(64, 156.25e6),
+        resources=ResourceVector(lut4=31_579, ff=25_606, usram=278, lsram=164),
+        payload=synthesize_payload("nat", ResourceVector(lut4=1), size_kib=8),
+        metadata={"app_params": {"capacity": 32768}},
+    )
+    params.update(overrides)
+    return Bitstream(**params)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        original = make_bitstream()
+        parsed = Bitstream.from_bytes(original.to_bytes())
+        assert parsed.app_name == "nat"
+        assert parsed.device == "MPF200T"
+        assert parsed.timing == TimingSpec(64, 156.25e6)
+        assert parsed.resources == original.resources
+        assert parsed.payload == original.payload
+        assert parsed.metadata["app_params"]["capacity"] == 32768
+
+    def test_crc_detects_corruption(self):
+        raw = bytearray(make_bitstream().to_bytes())
+        raw[100] ^= 0xFF
+        with pytest.raises(BitstreamError, match="CRC"):
+            Bitstream.from_bytes(bytes(raw))
+
+    def test_bad_magic(self):
+        with pytest.raises(BitstreamError, match="magic"):
+            Bitstream.from_bytes(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated(self):
+        raw = make_bitstream().to_bytes()
+        with pytest.raises(BitstreamError):
+            Bitstream.from_bytes(raw[:10])
+
+    def test_size_bits(self):
+        bitstream = make_bitstream()
+        assert bitstream.size_bits == len(bitstream.to_bytes()) * 8
+
+
+class TestAuthenticity:
+    def test_sign_verify(self):
+        bitstream = make_bitstream()
+        signature = bitstream.sign(b"deploy-key")
+        assert bitstream.verify(b"deploy-key", signature)
+
+    def test_wrong_key_rejected(self):
+        bitstream = make_bitstream()
+        signature = bitstream.sign(b"deploy-key")
+        assert not bitstream.verify(b"other-key", signature)
+
+    def test_tampered_content_rejected(self):
+        bitstream = make_bitstream()
+        signature = bitstream.sign(b"deploy-key")
+        tampered = make_bitstream(app_name="evil")
+        assert not tampered.verify(b"deploy-key", signature)
+
+    def test_signature_covers_payload(self):
+        a = make_bitstream(payload=b"\x00" * 64)
+        b = make_bitstream(payload=b"\x01" * 64)
+        assert a.sign(b"k") != b.sign(b"k")
+
+
+class TestSyntheticPayload:
+    def test_deterministic(self):
+        res = ResourceVector(lut4=5)
+        assert synthesize_payload("app", res, 4) == synthesize_payload("app", res, 4)
+
+    def test_identity_sensitive(self):
+        res = ResourceVector(lut4=5)
+        assert synthesize_payload("a", res, 4) != synthesize_payload("b", res, 4)
+
+    def test_size(self):
+        assert len(synthesize_payload("x", ResourceVector(), 16)) == 16 * 1024
+
+    def test_invalid_size(self):
+        with pytest.raises(BitstreamError):
+            synthesize_payload("x", ResourceVector(), 0)

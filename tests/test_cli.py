@@ -1,0 +1,120 @@
+"""The flexsfp command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListing:
+    def test_apps(self, capsys):
+        code, out, _ = run(capsys, "apps")
+        assert code == 0
+        assert "nat" in out and "firewall" in out and "linkhealth" in out
+
+    def test_devices(self, capsys):
+        code, out, _ = run(capsys, "devices")
+        assert code == 0
+        assert "MPF200T" in out and "192,408" in out
+
+
+class TestBuild:
+    def test_build_nat_default(self, capsys):
+        code, out, _ = run(capsys, "build", "nat")
+        assert code == 0
+        assert "156.25 MHz" in out
+        assert "Mi-V" in out and "fits: True" in out
+
+    def test_build_two_way_clocks_up(self, capsys):
+        code, out, _ = run(capsys, "build", "nat", "--shell", "two-way-core")
+        assert code == 0
+        assert "312.50 MHz" in out
+
+    def test_build_failure_exit_code(self, capsys):
+        # Underclocked two-way misses timing -> exit 1 with a note.
+        code, out, _ = run(
+            capsys, "build", "nat", "--shell", "two-way-core", "--clock", "156.25"
+        )
+        assert code == 1
+        assert "timing miss" in out
+
+    def test_build_unknown_device(self, capsys):
+        code, _, err = run(capsys, "build", "nat", "--device", "XCVU9P")
+        assert code == 2
+        assert "unknown device" in err
+
+    def test_build_soc_control_plane(self, capsys):
+        code, out, _ = run(capsys, "build", "nat", "--soc")
+        assert code == 0
+        assert "SoC bridge" in out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        code, out, _ = run(capsys, "table1")
+        assert code == 0
+        assert "nat app" in out and "Avail." in out
+
+    def test_table2(self, capsys):
+        code, out, _ = run(capsys, "table2")
+        assert code == 0
+        assert "Pigasus" in out and "exceeds" in out
+
+    def test_table3(self, capsys):
+        code, out, _ = run(capsys, "table3")
+        assert code == 0
+        assert "FlexSFP" in out and "DPU (BF-2)" in out
+
+    def test_table3_volume(self, capsys):
+        _, out_1k, _ = run(capsys, "table3", "--units", "1000")
+        _, out_100k, _ = run(capsys, "table3", "--units", "100000")
+        assert out_1k != out_100k
+
+
+class TestAnalysis:
+    def test_power(self, capsys):
+        code, out, _ = run(capsys, "power")
+        assert code == 0
+        assert "3.800" in out and "NIC + FlexSFP" in out
+
+    def test_bom(self, capsys):
+        code, out, _ = run(capsys, "bom")
+        assert code == 0
+        assert "MPF200T FPGA" in out and "total at 1,000 units" in out
+
+    def test_scale_10g(self, capsys):
+        code, out, _ = run(capsys, "scale", "10")
+        assert code == 0
+        assert "64 b datapath @ 156.25 MHz" in out
+
+    def test_scale_impossible(self, capsys):
+        code, out, _ = run(capsys, "scale", "400")
+        assert code == 1
+        assert "no single-pipeline" in out
+
+    def test_envelope_10g(self, capsys):
+        code, out, _ = run(capsys, "envelope", "10")
+        assert code == 0
+        assert "SFP+" in out and "fits" in out
+
+    def test_envelope_100g_needs_lanes(self, capsys):
+        code, out, _ = run(
+            capsys, "envelope", "100", "--width", "1024", "--clock", "312.5"
+        )
+        assert code == 0
+        assert "no lanes" in out and "QSFP-DD" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["build", "quantum-router"])

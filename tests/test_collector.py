@@ -1,0 +1,104 @@
+"""Telemetry collector: decoding and aggregating every FlexSFP feed."""
+
+import pytest
+
+from repro.apps import (
+    FlowRecord,
+    LinkEvent,
+    pack_alert,
+    pack_records,
+    pack_report,
+)
+from repro.apps.linkhealth import ALERT_PORT
+from repro.core import Direction, FlexSFPModule, ShellKind, ShellSpec
+from repro.netem import FlowAggregate, TelemetryCollector
+from repro.packet import INTHop, UDPPort, make_udp
+from repro.sim import Simulator, connect
+from repro.switch import Host
+
+
+def deliver(collector, payload: bytes, dport: int) -> None:
+    packet = make_udp(dst_ip=collector.ip, dport=dport, payload=payload)
+    collector._decode(packet)
+
+
+class TestDecoding:
+    def test_flow_export_aggregation(self, sim):
+        collector = TelemetryCollector(sim)
+        key = (0x0A000001, 0x0A000002, 17, 1000, 2000)
+        for i in range(3):
+            payload = pack_records(
+                [(key, FlowRecord(packets=5, bytes=500))], device_id=1, now_ns=i
+            )
+            deliver(collector, payload, UDPPort.NETFLOW)
+        aggregate = collector.state.flows[key]
+        assert aggregate.packets == 15 and aggregate.bytes == 1500
+        assert aggregate.exports == 3
+        assert collector.state.flow_exports == 3
+
+    def test_top_flows(self, sim):
+        collector = TelemetryCollector(sim)
+        small = ((1, 2, 17, 1, 1), FlowRecord(packets=1, bytes=100))
+        big = ((3, 4, 6, 2, 2), FlowRecord(packets=100, bytes=100_000))
+        deliver(collector, pack_records([small, big], 1, 0), UDPPort.NETFLOW)
+        (top_key, top_agg), *_ = collector.state.top_flows(1)
+        assert top_key == (3, 4, 6, 2, 2)
+        assert top_agg.bytes == 100_000
+
+    def test_int_report(self, sim):
+        collector = TelemetryCollector(sim)
+        hops = [INTHop(device_id=7, queue_depth=3, ingress_ts_ns=99)]
+        deliver(collector, pack_report(2, hops), UDPPort.INT_COLLECTOR)
+        assert collector.state.int_reports == 1
+        assert collector.state.hops_by_device[7][0].ingress_ts_ns == 99
+
+    def test_fault_alert(self, sim):
+        collector = TelemetryCollector(sim)
+        event = LinkEvent("microburst", 1234, 500)
+        deliver(collector, pack_alert(9, event), ALERT_PORT)
+        assert collector.state.fault_log == [(9, event)]
+        assert collector.state.faults_of_kind("microburst") == [(9, event)]
+        assert collector.state.faults_of_kind("flapping") == []
+
+    def test_garbage_counted_not_raised(self, sim):
+        collector = TelemetryCollector(sim)
+        deliver(collector, b"\x00\x01", UDPPort.NETFLOW)
+        deliver(collector, b"", UDPPort.INT_COLLECTOR)
+        assert collector.state.undecodable == 2
+
+    def test_unrelated_traffic_ignored(self, sim):
+        collector = TelemetryCollector(sim)
+        deliver(collector, b"hello", 8080)
+        assert collector.summary() == {
+            "flow_exports": 0,
+            "flows": 0,
+            "int_reports": 0,
+            "faults": 0,
+            "undecodable": 0,
+        }
+
+
+class TestEndToEnd:
+    def test_collector_behind_telemetry_module(self, sim):
+        from repro.apps import FlowTelemetry
+
+        telemetry = FlowTelemetry(
+            capacity=64, export_interval_ns=100_000, collector_ip="203.0.113.10"
+        )
+        module = FlexSFPModule(sim, "m", telemetry)
+        sender = Host(sim, "sender")
+        sender.port.connect(module.edge_port)
+        collector = TelemetryCollector(sim)
+        collector.port.connect(module.line_port)
+
+        for i in range(10):
+            sim.schedule(
+                i * 150e-6,
+                sender.send,
+                make_udp(sport=5000 + i % 3, payload=b"x" * 200),
+            )
+        sim.run(until=5e-3)
+        assert collector.state.flow_exports >= 1
+        assert collector.known_flows >= 1
+        total_bytes = sum(a.bytes for a in collector.state.flows.values())
+        assert total_bytes > 0

@@ -1,0 +1,101 @@
+"""DNS codec: names, compression, message roundtrips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, SerializationError
+from repro.packet.dns import (
+    DNSMessage,
+    DNSQuestion,
+    QType,
+    decode_name,
+    encode_name,
+)
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=20)
+domain = st.lists(label, min_size=1, max_size=5).map(".".join)
+
+
+class TestNames:
+    def test_encode_simple(self):
+        assert encode_name("a.bc") == b"\x01a\x02bc\x00"
+
+    def test_root(self):
+        assert encode_name("") == b"\x00"
+
+    def test_trailing_dot_ignored(self):
+        assert encode_name("example.com.") == encode_name("example.com")
+
+    @given(domain)
+    def test_roundtrip(self, name):
+        raw = encode_name(name)
+        decoded, offset = decode_name(memoryview(raw), 0)
+        assert decoded == name
+        assert offset == len(raw)
+
+    def test_label_too_long(self):
+        with pytest.raises(SerializationError):
+            encode_name("a" * 64 + ".com")
+
+    def test_name_too_long(self):
+        with pytest.raises(SerializationError):
+            encode_name(".".join(["abcdefgh"] * 40))
+
+    def test_compression_pointer(self):
+        # "example.com" at offset 0; pointer to it at offset 13.
+        raw = encode_name("example.com") + b"\xc0\x00"
+        decoded, offset = decode_name(memoryview(raw), 13)
+        assert decoded == "example.com"
+        assert offset == 15
+
+    def test_pointer_loop_detected(self):
+        raw = b"\xc0\x00"
+        with pytest.raises(ParseError):
+            decode_name(memoryview(raw), 0)
+
+    def test_truncated_name(self):
+        with pytest.raises(ParseError):
+            decode_name(memoryview(b"\x05ab"), 0)
+
+
+class TestMessages:
+    def test_query_roundtrip(self):
+        message = DNSMessage(
+            txid=0xBEEF,
+            questions=[DNSQuestion("www.example.com", QType.AAAA)],
+        )
+        parsed = DNSMessage.parse(message.pack())
+        assert parsed.txid == 0xBEEF
+        assert parsed.is_query
+        assert parsed.questions == [DNSQuestion("www.example.com", QType.AAAA)]
+
+    def test_multiple_questions(self):
+        message = DNSMessage(
+            questions=[DNSQuestion("a.com"), DNSQuestion("b.org", QType.HTTPS)]
+        )
+        parsed = DNSMessage.parse(message.pack())
+        assert len(parsed.questions) == 2
+
+    def test_response_flag(self):
+        assert not DNSMessage(flags=0x8180).is_query
+
+    def test_qname_case_normalized(self):
+        assert DNSQuestion("ExAmPle.COM").qname == "example.com"
+
+    def test_truncated_header(self):
+        with pytest.raises(ParseError):
+            DNSMessage.parse(b"\x00" * 11)
+
+    def test_truncated_question(self):
+        message = DNSMessage(questions=[DNSQuestion("x.com")])
+        with pytest.raises(ParseError):
+            DNSMessage.parse(message.pack()[:-2])
+
+    def test_raw_records_preserved(self):
+        message = DNSMessage(
+            questions=[DNSQuestion("x.com")], raw_records=b"\xde\xad", ancount=1
+        )
+        parsed = DNSMessage.parse(message.pack())
+        assert parsed.raw_records == b"\xde\xad"
+        assert parsed.ancount == 1

@@ -1,0 +1,128 @@
+"""Form-factor power envelopes (§5.3/§6 scalability question)."""
+
+import pytest
+
+from repro.core import ShellSpec
+from repro.errors import ConfigError
+from repro.fpga import (
+    FORM_FACTORS,
+    OSFP,
+    QSFP28,
+    QSFP_DD,
+    SFP_PLUS,
+    envelope_check,
+)
+from repro.hls import compile_app
+
+
+class TestCatalog:
+    def test_envelope_ordering(self):
+        # Bigger form factors must offer strictly more power headroom.
+        envelopes = [
+            FORM_FACTORS[name].power_envelope_w
+            for name in ("SFP+", "SFP28", "QSFP28", "QSFP-DD", "OSFP")
+        ]
+        assert envelopes == sorted(envelopes)
+
+    def test_rate_ceilings(self):
+        assert SFP_PLUS.max_rate_gbps == 10.0
+        assert QSFP_DD.max_rate_gbps == 400.0
+
+    def test_lanes_for(self):
+        assert QSFP28.lanes_for(100) == 4
+        assert QSFP28.lanes_for(25) == 1
+        assert QSFP_DD.lanes_for(400) == 8
+
+    def test_rate_beyond_ceiling_rejected(self):
+        with pytest.raises(ConfigError):
+            SFP_PLUS.lanes_for(25)
+        with pytest.raises(ConfigError):
+            QSFP28.lanes_for(0)
+
+
+class TestEnvelopeChecks:
+    def nat_build(self, width=64, clock=None, rate=10e9):
+        from repro.apps import StaticNat
+
+        shell = ShellSpec(line_rate_bps=rate, datapath_bits=width)
+        return compile_app(StaticNat(), shell, clock_hz=clock, strict=False)
+
+    def test_prototype_fits_sfp_plus(self):
+        build = self.nat_build()
+        check = envelope_check(
+            SFP_PLUS, 10.0, build.report.total, build.report.timing.clock_hz
+        )
+        assert check.fits
+        assert check.total_w == pytest.approx(1.52, abs=0.15)
+        assert check.headroom_w > 0.8
+
+    def test_100g_needs_a_bigger_form_factor(self):
+        build = self.nat_build(width=1024, clock=312.5e6, rate=100e9)
+        sfp = FORM_FACTORS["SFP+"]
+        with pytest.raises(ConfigError):
+            sfp.lanes_for(100)  # does not even have the lanes
+        qsfp28 = envelope_check(
+            QSFP28, 100.0, build.report.total, build.report.timing.clock_hz
+        )
+        qsfp_dd = envelope_check(
+            QSFP_DD, 100.0, build.report.total, build.report.timing.clock_hz
+        )
+        # The wide-datapath design is power-hungry; QSFP-DD's class-7
+        # envelope absorbs it with room to spare.
+        assert qsfp_dd.fits
+        assert qsfp_dd.envelope_w > qsfp28.envelope_w
+
+    def test_power_grows_with_rate(self):
+        checks = []
+        for rate, width, clock in ((10.0, 64, 156.25e6), (100.0, 1024, 312.5e6)):
+            build = self.nat_build(width=width, clock=clock, rate=rate * 1e9)
+            checks.append(
+                envelope_check(
+                    QSFP_DD, rate, build.report.total, build.report.timing.clock_hz
+                )
+            )
+        assert checks[1].fpga_w > checks[0].fpga_w
+
+    def test_check_fields_consistent(self):
+        build = self.nat_build()
+        check = envelope_check(
+            OSFP, 10.0, build.report.total, build.report.timing.clock_hz
+        )
+        assert check.total_w == pytest.approx(check.fpga_w + check.optics_w)
+        assert check.fits == (check.headroom_w >= 0)
+
+
+class TestThermal:
+    def nat_total(self):
+        from repro.fpga import ResourceVector
+
+        return ResourceVector(lut4=31_579, ff=25_606, usram=278, lsram=164)
+
+    def test_case_temp_computed(self):
+        check = envelope_check(SFP_PLUS, 10.0, self.nat_total(), 156.25e6)
+        expected = 45.0 + check.total_w * SFP_PLUS.thermal_resistance_c_per_w
+        assert check.case_temp_c == pytest.approx(expected)
+        assert check.thermally_ok
+
+    def test_hot_ambient_fails_thermally(self):
+        # §2: "edge environments with tight thermal limits" — a 62C
+        # fanless enclosure pushes the case past the 70C ceiling even
+        # though the MSA power class is met.
+        check = envelope_check(
+            SFP_PLUS, 10.0, self.nat_total(), 156.25e6, ambient_c=62.0
+        )
+        assert check.total_w < check.envelope_w
+        assert not check.thermally_ok
+        assert not check.fits
+
+    def test_bigger_form_factor_cools_better_per_watt(self):
+        sfp = envelope_check(SFP_PLUS, 10.0, self.nat_total(), 156.25e6)
+        qsfp = envelope_check(QSFP28, 10.0, self.nat_total(), 156.25e6)
+        # QSFP28 draws more (more SerDes, bigger optics), yet its
+        # heatsink-coupled cage dissipates so much better that the case
+        # rise is about the same — had the QSFP28's power been dissipated
+        # through the SFP+ cage, it would blow past the ceiling.
+        assert qsfp.total_w > sfp.total_w
+        rise_in_sfp_cage = qsfp.total_w * SFP_PLUS.thermal_resistance_c_per_w
+        rise_in_qsfp_cage = qsfp.case_temp_c - 45.0
+        assert rise_in_qsfp_cage < 0.6 * rise_in_sfp_cage

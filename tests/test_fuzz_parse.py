@@ -1,0 +1,73 @@
+"""Fuzzing the parsers: hostile bytes must fail *cleanly*.
+
+The FlexSFP sits on the wire; whatever arrives, the parser must either
+produce a packet or raise :class:`ParseError` — never an uncontrolled
+exception.  These properties fuzz raw frames, mutated valid frames, and
+the management/DNS codecs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MgmtMessage
+from repro.errors import ControlPlaneError, ParseError
+from repro.fpga import Bitstream
+from repro.errors import BitstreamError
+from repro.packet import Packet, make_udp, vxlan_encap
+from repro.packet.dns import DNSMessage
+
+
+class TestPacketParseFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300)
+    def test_random_bytes_parse_or_parseerror(self, data):
+        try:
+            packet = Packet.parse(data)
+        except ParseError:
+            return
+        # If it parsed, it must reserialize without error, and the raw
+        # bytes must be fully accounted for.
+        raw = packet.to_bytes(fill=False)
+        assert len(raw) == len(data)
+
+    @given(st.binary(min_size=14, max_size=200), st.integers(0, 13))
+    def test_mutated_ethernet_header(self, payload, flip_at):
+        frame = bytearray(make_udp(payload=payload[:100]).to_bytes())
+        frame[flip_at] ^= 0xFF
+        try:
+            Packet.parse(bytes(frame))
+        except ParseError:
+            pass
+
+    @given(st.integers(0, 120), st.integers(1, 255))
+    def test_truncated_valid_frame(self, cut, xor):
+        frame = vxlan_encap(
+            make_udp(payload=b"x" * 40), 7, "192.0.2.1", "192.0.2.2"
+        ).to_bytes()
+        truncated = frame[: max(0, len(frame) - cut)]
+        try:
+            Packet.parse(truncated)
+        except ParseError:
+            pass
+
+    @given(st.binary(max_size=128))
+    def test_dns_fuzz(self, data):
+        try:
+            DNSMessage.parse(data)
+        except ParseError:
+            pass
+
+    @given(st.binary(max_size=128), st.binary(min_size=1, max_size=16))
+    def test_mgmt_fuzz(self, data, key):
+        try:
+            MgmtMessage.unpack(data, key)
+        except ControlPlaneError:
+            pass
+
+    @given(st.binary(max_size=256))
+    def test_bitstream_fuzz(self, data):
+        try:
+            Bitstream.from_bytes(data)
+        except BitstreamError:
+            pass

@@ -1,0 +1,123 @@
+"""Impaired links: loss, jitter, flaps — and fault detection end to end."""
+
+import pytest
+
+from repro.apps import LinkHealthMonitor
+from repro.core import FlexSFPModule, ShellSpec
+from repro.errors import ConfigError
+from repro.netem import CbrSource, ImpairedPort
+from repro.packet import make_udp
+from repro.sim import Port, Simulator, connect
+
+
+class TestLoss:
+    def test_seeded_loss_rate(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", loss_probability=0.3, seed=5)
+        received = []
+        rx.attach(lambda p, pkt: received.append(pkt))
+        connect(tx, rx)
+        for _ in range(1000):
+            tx.send(make_udp(payload=b"x" * 100))
+        sim.run()
+        loss = 1 - len(received) / 1000
+        assert loss == pytest.approx(0.3, abs=0.05)
+        assert rx.impairment_drops.packets == 1000 - len(received)
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            sim = Simulator()
+            tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+            rx = ImpairedPort(sim, "rx", loss_probability=0.5, seed=seed)
+            count = [0]
+            rx.attach(lambda p, pkt: count.__setitem__(0, count[0] + 1))
+            connect(tx, rx)
+            for _ in range(200):
+                tx.send(make_udp())
+            sim.run()
+            return count[0]
+
+        assert run(7) == run(7)
+
+    def test_zero_loss_passes_everything(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx")
+        count = [0]
+        rx.attach(lambda p, pkt: count.__setitem__(0, count[0] + 1))
+        connect(tx, rx)
+        for _ in range(50):
+            tx.send(make_udp())
+        sim.run()
+        assert count[0] == 50
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigError):
+            ImpairedPort(sim, "bad", loss_probability=1.0)
+        with pytest.raises(ConfigError):
+            ImpairedPort(sim, "bad", jitter_s=-1.0)
+
+
+class TestJitter:
+    def test_jitter_spreads_arrivals(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", jitter_s=10e-6, seed=3)
+        arrivals = []
+        rx.attach(lambda p, pkt: arrivals.append(sim.now))
+        connect(tx, rx)
+        for _ in range(100):
+            tx.send(make_udp())
+        sim.run()
+        assert len(arrivals) == 100
+        spread = max(arrivals) - min(arrivals)
+        assert spread > 5e-6  # jitter dominates back-to-back spacing
+
+
+class TestFlaps:
+    def test_flap_goes_dark(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", seed=2)
+        received = []
+        rx.attach(lambda p, pkt: received.append(sim.now))
+        connect(tx, rx)
+        CbrSource(sim, tx, rate_bps=1e9, frame_len=512, stop=3e-3)
+        sim.schedule(1e-3, rx.flap, 1e-3)
+        sim.run(until=4e-3)
+        in_dark = [t for t in received if 1e-3 < t < 2e-3]
+        assert not in_dark
+        assert rx.flaps == 1
+        assert any(t < 1e-3 for t in received)
+        assert any(t > 2e-3 for t in received)
+
+    def test_flap_validation(self, sim):
+        with pytest.raises(ConfigError):
+            ImpairedPort(sim, "x").flap(0.0)
+
+
+class TestFlapDetectionEndToEnd:
+    def test_linkhealth_sees_fiber_flap(self, sim):
+        """A flapping fiber produces dead-interval events in the module."""
+        monitor = LinkHealthMonitor(dead_interval_ns=500_000)
+        module = FlexSFPModule(sim, "m", monitor, auth_key=b"k")
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        # The module's edge receives through an impaired segment.
+        impaired = ImpairedPort(sim, "impaired", seed=4)
+        sink = Port(sim, "sink", 10e9)
+        sink.attach(lambda p, pkt: None)
+
+        # tx -> impaired (host-side wire) ... then hand frames onward into
+        # the module edge port by re-sending from a relay.
+        relay_out = Port(sim, "relay", 10e9, queue_bytes=1 << 22)
+        impaired.attach(lambda p, pkt: relay_out.send(pkt))
+        connect(tx, impaired)
+        connect(relay_out, module.edge_port)
+        connect(module.line_port, sink)
+
+        CbrSource(
+            sim, tx, rate_bps=1e9, frame_len=512, stop=6e-3,
+            factory=lambda i, n: make_udp(payload=bytes(470)),
+        )
+        sim.schedule(2e-3, impaired.flap, 1.5e-3)
+        sim.run(until=7e-3)
+        dead = [e for e in monitor.events if e.kind == "dead-interval"]
+        assert dead, "flap not detected"
+        assert dead[0].detail_ns >= 1_000_000

@@ -1,0 +1,53 @@
+"""Ethernet MAC arithmetic: the numbers behind every line-rate claim."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import (
+    frame_wire_bytes,
+    goodput_fraction,
+    line_rate_packets,
+    max_frame_rate,
+    serialization_time,
+)
+
+
+class TestFraming:
+    def test_min_frame_wire_occupancy(self):
+        # 60 B frame (no FCS) -> 64 B framed + 20 B preamble/IFG = 84 B.
+        assert frame_wire_bytes(60) == 84
+
+    def test_runt_padded(self):
+        assert frame_wire_bytes(20) == 84
+
+    def test_full_frame(self):
+        assert frame_wire_bytes(1514) == 1538
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            frame_wire_bytes(-1)
+
+
+class TestRates:
+    def test_10g_min_frame_rate_is_14_88_mpps(self):
+        # The canonical 10GbE figure: 14.880952... Mpps at 64 B frames.
+        assert max_frame_rate(10e9, 60) == pytest.approx(14_880_952.38, rel=1e-6)
+
+    def test_10g_full_frame_rate(self):
+        assert max_frame_rate(10e9, 1514) == pytest.approx(812_743.8, rel=1e-4)
+
+    def test_serialization_time_min_frame(self):
+        assert serialization_time(60, 10e9) == pytest.approx(67.2e-9)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            serialization_time(64, 0)
+
+    def test_goodput_fraction(self):
+        assert goodput_fraction(1514) == pytest.approx(1514 / 1538)
+        assert goodput_fraction(60) == pytest.approx(60 / 84)
+
+    def test_line_rate_packets(self):
+        assert line_rate_packets(10e9, 60, 1e-3) == 14_880
+        with pytest.raises(ConfigError):
+            line_rate_packets(10e9, 60, -1.0)

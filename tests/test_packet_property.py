@@ -1,0 +1,140 @@
+"""Property-based tests over the packet substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet import (
+    IPv4,
+    Packet,
+    TCP,
+    UDP,
+    VLAN,
+    Ethernet,
+    EtherType,
+    IPProto,
+    incremental_update32,
+    internet_checksum,
+    make_udp,
+    vlan_pop,
+    vlan_push,
+)
+
+macs = st.integers(0, (1 << 48) - 1)
+ips = st.integers(0, (1 << 32) - 1)
+ports = st.integers(0, 65535)
+payloads = st.binary(max_size=256)
+
+
+@st.composite
+def udp_packets(draw):
+    return Packet(
+        [
+            Ethernet(draw(macs), draw(macs), EtherType.IPV4),
+            IPv4(
+                draw(ips),
+                draw(ips),
+                proto=IPProto.UDP,
+                ttl=draw(st.integers(1, 255)),
+                dscp=draw(st.integers(0, 63)),
+                identification=draw(st.integers(0, 0xFFFF)),
+            ),
+            UDP(draw(ports), draw(ports)),
+        ],
+        draw(payloads),
+    )
+
+
+@st.composite
+def tcp_packets(draw):
+    return Packet(
+        [
+            Ethernet(draw(macs), draw(macs), EtherType.IPV4),
+            IPv4(draw(ips), draw(ips), proto=IPProto.TCP),
+            TCP(
+                draw(ports),
+                draw(ports),
+                seq=draw(st.integers(0, 2**32 - 1)),
+                ack=draw(st.integers(0, 2**32 - 1)),
+                flags=draw(st.integers(0, 255)),
+                window=draw(st.integers(0, 0xFFFF)),
+            ),
+        ],
+        draw(payloads),
+    )
+
+
+class TestRoundtripProperties:
+    @given(udp_packets())
+    def test_udp_parse_inverts_serialize(self, packet):
+        raw = packet.to_bytes()
+        parsed = Packet.parse(raw)
+        assert parsed.headers == packet.headers
+        assert parsed.payload == packet.payload
+        assert parsed.to_bytes() == raw
+
+    @given(tcp_packets())
+    def test_tcp_parse_inverts_serialize(self, packet):
+        raw = packet.to_bytes()
+        parsed = Packet.parse(raw)
+        assert parsed.headers == packet.headers
+        assert parsed.payload == packet.payload
+
+    @given(udp_packets())
+    def test_serialized_ipv4_checksum_always_valid(self, packet):
+        packet.to_bytes()
+        assert packet.ipv4.verify_checksum()
+
+    @given(udp_packets(), st.integers(1, 4094))
+    def test_vlan_push_pop_roundtrip(self, packet, vid):
+        before = packet.to_bytes()
+        vlan_push(packet, vid)
+        tagged = packet.to_bytes()
+        assert len(tagged) == len(before) + 4
+        assert Packet.parse(tagged).get(VLAN).vid == vid
+        vlan_pop(packet)
+        assert packet.to_bytes() == before
+
+    @given(udp_packets())
+    def test_wire_len_matches_serialization(self, packet):
+        assert packet.wire_len == len(packet.to_bytes())
+
+    @given(udp_packets())
+    def test_copy_independent(self, packet):
+        clone = packet.copy()
+        clone.ipv4.ttl = (packet.ipv4.ttl % 255) + 1
+        assert clone.ipv4.ttl != packet.ipv4.ttl
+
+
+class TestNatChecksumProperty:
+    @given(udp_packets(), ips)
+    @settings(max_examples=50)
+    def test_incremental_update_equals_hardware_recompute(self, packet, new_src):
+        """The NAT's RFC 1624 path agrees with full recomputation.
+
+        This is the correctness core of the §5.1 case study: rewriting the
+        source IP and incrementally patching the IPv4 checksum must yield
+        exactly the checksum a full recompute produces.
+        """
+        packet.to_bytes()  # materialize valid checksums
+        ip = packet.ipv4
+        old_src, old_checksum = ip.src, ip.checksum
+        # Hardware path: incremental update.
+        incremental = incremental_update32(old_checksum, old_src, new_src)
+        # Reference path: rewrite + full recompute.
+        ip.src = new_src
+        ip.checksum = 0
+        recomputed = internet_checksum(ip.pack())
+        assert incremental == recomputed or {incremental, recomputed} == {0, 0xFFFF}
+
+
+class TestFiveTupleProperties:
+    @given(udp_packets())
+    def test_five_tuple_matches_headers(self, packet):
+        src, dst, proto, sport, dport = packet.five_tuple()
+        assert (src, dst) == (packet.ipv4.src, packet.ipv4.dst)
+        assert proto == IPProto.UDP
+        assert (sport, dport) == (packet.udp.sport, packet.udp.dport)
+
+    @given(udp_packets())
+    def test_five_tuple_survives_reserialization(self, packet):
+        assert Packet.parse(packet.to_bytes()).five_tuple() == packet.five_tuple()

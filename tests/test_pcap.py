@@ -1,0 +1,60 @@
+"""pcap writer/reader roundtrips."""
+
+import struct
+
+import pytest
+
+from repro.errors import ParseError
+from repro.packet import Packet, make_udp
+from repro.sim import PcapWriter, read_pcap
+
+
+class TestPcap:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        frames = [make_udp(payload=bytes([i]) * 10).to_bytes() for i in range(5)]
+        with PcapWriter(path) as writer:
+            for i, frame in enumerate(frames):
+                writer.write(i * 0.001, frame)
+        records = list(read_pcap(path))
+        assert len(records) == 5
+        for i, (ts, frame) in enumerate(records):
+            assert ts == pytest.approx(i * 0.001, abs=1e-6)
+            assert frame == frames[i]
+            assert Packet.parse(frame).payload == bytes([i]) * 10
+
+    def test_snaplen_truncates(self, tmp_path):
+        path = tmp_path / "snap.pcap"
+        with PcapWriter(path, snaplen=20) as writer:
+            writer.write(0.0, b"\xaa" * 100)
+        ((_, frame),) = read_pcap(path)
+        assert len(frame) == 20
+
+    def test_microsecond_rounding(self, tmp_path):
+        path = tmp_path / "round.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(1.9999999, b"x")
+        ((ts, _),) = read_pcap(path)
+        assert ts == pytest.approx(2.0, abs=1e-6)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(ParseError):
+            list(read_pcap(path))
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(0.0, b"abcdef")
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(ParseError):
+            list(read_pcap(path))
+
+    def test_record_count(self, tmp_path):
+        path = tmp_path / "count.pcap"
+        with PcapWriter(path) as writer:
+            for i in range(3):
+                writer.write(float(i), b"abc")
+            assert writer.records == 3

@@ -1,0 +1,149 @@
+"""Property-based tests across the simulator, protocol, and cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MgmtMessage, MgmtOp
+from repro.errors import ControlPlaneError
+from repro.fpga import TimingSpec, estimator
+from repro.fpga.timing import required_clock_hz
+from repro.sim import Simulator, frame_wire_bytes, serialization_time
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60))
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired, key=lambda d: d)
+        assert len(fired) == len(delays)
+        assert sim.now == max(delays)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=2, max_size=40),
+        st.data(),
+    )
+    def test_cancellation_removes_exactly_those_events(self, delays, data):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(delays) - 1), max_size=len(delays))
+        )
+        for index in to_cancel:
+            handles[index].cancel()
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+class TestMgmtCodecProperties:
+    @given(
+        st.sampled_from(list(MgmtOp)),
+        st.integers(1, 2**32 - 1),
+        st.binary(max_size=1_200),
+        st.binary(min_size=4, max_size=32),
+    )
+    def test_pack_unpack_roundtrip(self, opcode, seq, body, key):
+        message = MgmtMessage(opcode, seq, body)
+        parsed = MgmtMessage.unpack(message.pack(key), key)
+        assert parsed.opcode is opcode
+        assert parsed.seq == seq
+        assert parsed.body == body
+
+    @given(
+        st.binary(min_size=4, max_size=16),
+        st.binary(min_size=4, max_size=16),
+        st.integers(1, 1000),
+    )
+    def test_cross_key_rejection(self, key_a, key_b, seq):
+        # Different keys must never authenticate each other's frames.
+        if key_a == key_b:
+            return
+        raw = MgmtMessage.control(MgmtOp.HELLO, seq).pack(key_a)
+        with pytest.raises(ControlPlaneError):
+            MgmtMessage.unpack(raw, key_b)
+
+    @given(st.integers(0, 100), st.binary(max_size=128))
+    def test_any_single_byte_flip_detected(self, flip_at, body):
+        key = b"property-key"
+        raw = bytearray(MgmtMessage(MgmtOp.TABLE_STATS, 1, body).pack(key))
+        flip_at %= len(raw)
+        raw[flip_at] ^= 0x5A
+        with pytest.raises(ControlPlaneError):
+            MgmtMessage.unpack(bytes(raw), key)
+
+
+class TestTimingProperties:
+    widths = st.sampled_from([8, 16, 32, 64, 128, 256, 512])
+    clocks = st.floats(50e6, 400e6)
+    frames = st.integers(1, 9000)
+
+    @given(widths, clocks, frames)
+    def test_service_time_positive_and_consistent(self, width, clock, frame):
+        spec = TimingSpec(width, clock)
+        service = spec.frame_service_time(frame)
+        assert service > 0
+        assert spec.max_frame_rate(frame) == pytest.approx(1.0 / service)
+
+    @given(widths, clocks, frames)
+    def test_wider_is_never_slower(self, width, clock, frame):
+        narrow = TimingSpec(width, clock).frame_service_time(frame)
+        wide = TimingSpec(width * 2, clock).frame_service_time(frame)
+        assert wide <= narrow
+
+    @given(widths, st.floats(1e9, 50e9), st.integers(46, 1514))
+    def test_required_clock_is_sufficient(self, width, rate, frame):
+        clock = required_clock_hz(rate, width, frame)
+        assert TimingSpec(width, clock).sustains_line_rate(rate, frame)
+
+    @given(st.integers(0, 9000), st.floats(1e9, 100e9))
+    def test_serialization_matches_wire_bytes(self, frame, rate):
+        assert serialization_time(frame, rate) == pytest.approx(
+            frame_wire_bytes(frame) * 8 / rate
+        )
+
+
+class TestEstimatorProperties:
+    @given(st.integers(1, 200), st.integers(1, 200))
+    def test_parser_monotone_in_header_bytes(self, a, b):
+        small, large = min(a, b), max(a, b)
+        assert estimator.parser(large).lut4 >= estimator.parser(small).lut4
+
+    @given(
+        st.integers(1, 1 << 17),
+        st.integers(1, 1 << 17),
+        st.integers(8, 256),
+        st.integers(8, 256),
+    )
+    def test_table_storage_monotone(self, entries_a, entries_b, key_bits, value_bits):
+        small, large = min(entries_a, entries_b), max(entries_a, entries_b)
+        assert (
+            estimator.exact_match_table(large, key_bits, value_bits).lsram
+            >= estimator.exact_match_table(small, key_bits, value_bits).lsram
+        )
+
+    @given(st.integers(1, 64), st.sampled_from([64, 128, 256, 512]))
+    def test_glue_scales_with_stages_and_width(self, stages, width):
+        base = estimator.pipeline_glue(stages, width)
+        more_stages = estimator.pipeline_glue(stages + 1, width)
+        wider = estimator.pipeline_glue(stages, width * 2)
+        assert more_stages.ff > base.ff
+        assert wider.ff > base.ff
+
+    @given(st.integers(1, 4096), st.integers(8, 128), st.integers(4, 64))
+    @settings(max_examples=30)
+    def test_all_primitives_non_negative(self, entries, key_bits, value_bits):
+        for vector in (
+            estimator.exact_match_table(entries, key_bits, value_bits),
+            estimator.lpm_table(entries, key_bits, value_bits),
+            estimator.ternary_table(entries, key_bits, value_bits),
+        ):
+            assert vector.lut4 >= 0 and vector.ff >= 0
+            assert vector.usram >= 0 and vector.lsram >= 0

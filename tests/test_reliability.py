@@ -1,0 +1,143 @@
+"""§5.3 failure recovery: VCSEL wear, health diagnosis, repair economics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.testbed import (
+    LaserHealth,
+    LaserTelemetry,
+    ModuleHealthMonitor,
+    VcselWearModel,
+    fleet_failure_fraction,
+    repair_economics,
+)
+from repro.testbed.reliability import (
+    END_OF_LIFE_POWER_DROP_DB,
+    NOMINAL_BIAS_MA,
+    NOMINAL_TX_POWER_DBM,
+)
+
+
+class TestWearModel:
+    def test_lognormal_median(self):
+        model = VcselWearModel(median_life_years=12.0, seed=1)
+        lifetimes = sorted(model.sample_population(4000))
+        median = lifetimes[len(lifetimes) // 2]
+        assert median == pytest.approx(12.0, rel=0.1)
+
+    def test_deterministic_with_seed(self):
+        assert (
+            VcselWearModel(seed=5).sample_population(10)
+            == VcselWearModel(seed=5).sample_population(10)
+        )
+
+    def test_power_drop_trajectory(self):
+        # Flat early, knee late, hits -2 dB exactly at end of life.
+        assert VcselWearModel.power_drop_db(0.0, 10.0) == 0.0
+        assert VcselWearModel.power_drop_db(5.0, 10.0) < 0.3
+        assert VcselWearModel.power_drop_db(10.0, 10.0) == pytest.approx(
+            END_OF_LIFE_POWER_DROP_DB
+        )
+
+    @given(st.floats(0.01, 30.0), st.floats(0.5, 30.0))
+    def test_power_drop_monotone_in_age(self, age, ttf):
+        earlier = VcselWearModel.power_drop_db(age * 0.5, ttf)
+        later = VcselWearModel.power_drop_db(age, ttf)
+        assert later >= earlier
+
+    def test_bias_chases_power(self):
+        assert VcselWearModel.bias_increase_ma(0.0) == 0.0
+        assert VcselWearModel.bias_increase_ma(2.0) > VcselWearModel.bias_increase_ma(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            VcselWearModel(median_life_years=0)
+        with pytest.raises(ConfigError):
+            VcselWearModel.power_drop_db(1.0, 0.0)
+        with pytest.raises(ConfigError):
+            VcselWearModel(seed=1).sample_population(0)
+
+
+class TestHealthMonitor:
+    def test_healthy_module(self):
+        monitor = ModuleHealthMonitor()
+        telemetry = monitor.telemetry_at(age_years=1.0, ttf_years=12.0)
+        assert monitor.classify(telemetry) is LaserHealth.HEALTHY
+
+    def test_degrading_laser(self):
+        monitor = ModuleHealthMonitor()
+        telemetry = monitor.telemetry_at(age_years=9.5, ttf_years=12.0)
+        assert monitor.classify(telemetry) is LaserHealth.DEGRADING
+
+    def test_failed_laser(self):
+        monitor = ModuleHealthMonitor()
+        telemetry = monitor.telemetry_at(age_years=12.5, ttf_years=12.0)
+        assert monitor.classify(telemetry) is LaserHealth.LASER_FAILED
+
+    def test_driver_fault_distinguished(self):
+        # Power collapse WITHOUT elevated bias: the paper's "distinguishing
+        # between laser degradation and driver circuit malfunction".
+        monitor = ModuleHealthMonitor()
+        telemetry = LaserTelemetry(bias_ma=NOMINAL_BIAS_MA, tx_power_dbm=-10.0)
+        assert monitor.classify(telemetry) is LaserHealth.DRIVER_FAULT
+
+    def test_lifecycle_transitions(self):
+        # Walking a module through its life hits healthy -> degrading ->
+        # failed in order.
+        monitor = ModuleHealthMonitor()
+        states = [
+            monitor.classify(monitor.telemetry_at(age, 12.0))
+            for age in (1.0, 10.0, 13.0)
+        ]
+        assert states == [
+            LaserHealth.HEALTHY,
+            LaserHealth.DEGRADING,
+            LaserHealth.LASER_FAILED,
+        ]
+
+    def test_nominal_constants_sane(self):
+        assert NOMINAL_TX_POWER_DBM < 0 < NOMINAL_BIAS_MA
+
+
+class TestRepairEconomics:
+    def test_flexsfp_repair_worthwhile(self):
+        decision = repair_economics(module_cost_usd=275.0)
+        assert decision.repair_worthwhile
+        assert decision.saving_usd > 200
+
+    def test_cheap_sfp_discarded(self):
+        # "standard SFPs are replaced entirely when lasers fail".
+        decision = repair_economics(module_cost_usd=10.0)
+        assert not decision.repair_worthwhile
+        assert decision.saving_usd == 0.0
+
+    def test_yield_raises_effective_cost(self):
+        good = repair_economics(275.0, yield_fraction=1.0)
+        poor = repair_economics(275.0, yield_fraction=0.5)
+        assert poor.repair_cost_usd == pytest.approx(2 * good.repair_cost_usd)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            repair_economics(0.0)
+        with pytest.raises(ConfigError):
+            repair_economics(100.0, yield_fraction=0.0)
+
+
+class TestFleet:
+    def test_failure_fraction_grows_with_horizon(self):
+        model = VcselWearModel(seed=3)
+        early = fleet_failure_fraction(model, 3.0, population=5000)
+        model2 = VcselWearModel(seed=3)
+        late = fleet_failure_fraction(model2, 20.0, population=5000)
+        assert early < late
+
+    def test_half_fleet_by_median(self):
+        model = VcselWearModel(median_life_years=12.0, seed=11)
+        fraction = fleet_failure_fraction(model, 12.0, population=8000)
+        assert fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            fleet_failure_fraction(VcselWearModel(), -1.0)

@@ -1,0 +1,94 @@
+"""Architecture shells: the Figure 1 design space."""
+
+import pytest
+
+from repro.core import ControlPlaneClass, Direction, ShellKind, ShellSpec
+from repro.errors import ConfigError
+
+
+class TestOneWayFilter:
+    def test_processes_only_filtered_direction(self):
+        shell = ShellSpec(kind=ShellKind.ONE_WAY_FILTER)
+        assert shell.processes(Direction.EDGE_TO_LINE)
+        assert not shell.processes(Direction.LINE_TO_EDGE)
+
+    def test_filter_direction_configurable(self):
+        shell = ShellSpec(
+            kind=ShellKind.ONE_WAY_FILTER, filtered_direction=Direction.LINE_TO_EDGE
+        )
+        assert shell.processes(Direction.LINE_TO_EDGE)
+        assert not shell.processes(Direction.EDGE_TO_LINE)
+
+    def test_rate_multiplier(self):
+        assert ShellSpec(kind=ShellKind.ONE_WAY_FILTER).rate_multiplier == 1.0
+
+    def test_standard_clock_is_156_25(self):
+        # The prototype's synthesized clock (§5.1).
+        assert ShellSpec().standard_ppe_clock_hz() == 156.25e6
+
+    def test_base_components(self):
+        components = ShellSpec().base_components()
+        assert set(components) == {"Mi-V", "Elec. I/F", "Opt. I/F"}
+
+
+class TestTwoWayCore:
+    def test_processes_both_directions(self):
+        shell = ShellSpec(kind=ShellKind.TWO_WAY_CORE)
+        assert shell.processes(Direction.EDGE_TO_LINE)
+        assert shell.processes(Direction.LINE_TO_EDGE)
+
+    def test_offered_rate_doubles(self):
+        shell = ShellSpec(kind=ShellKind.TWO_WAY_CORE)
+        assert shell.ppe_offered_rate_bps == 20e9
+
+    def test_needs_faster_clock(self):
+        # Figure 1b: "increase the operating frequency of the PPE".
+        shell = ShellSpec(kind=ShellKind.TWO_WAY_CORE)
+        assert shell.standard_ppe_clock_hz() == 312.5e6
+
+    def test_hardware_overhead_sublinear(self):
+        # "the increase is not linear. Shared components mitigate..."
+        one_way = ShellSpec(kind=ShellKind.ONE_WAY_FILTER).base_resources()
+        two_way = ShellSpec(kind=ShellKind.TWO_WAY_CORE).base_resources()
+        assert one_way.lut4 < two_way.lut4 < 2 * one_way.lut4
+
+    def test_arbiter_in_components(self):
+        assert "Arbiter" in ShellSpec(kind=ShellKind.TWO_WAY_CORE).base_components()
+
+
+class TestActiveCore:
+    def test_has_management_interface(self):
+        components = ShellSpec(kind=ShellKind.ACTIVE_CORE).base_components()
+        assert "Mgmt I/F" in components
+
+    def test_largest_base_footprint(self):
+        footprints = {
+            kind: ShellSpec(kind=kind).base_resources().lut4 for kind in ShellKind
+        }
+        assert footprints[ShellKind.ACTIVE_CORE] == max(footprints.values())
+
+
+class TestControlPlaneClasses:
+    def test_softcore_uses_miv(self):
+        components = ShellSpec(control_plane=ControlPlaneClass.SOFTCORE).base_components()
+        assert "Mi-V" in components
+
+    def test_soc_swaps_in_bridge(self):
+        components = ShellSpec(control_plane=ControlPlaneClass.SOC).base_components()
+        assert "SoC bridge" in components and "Mi-V" not in components
+
+
+class TestClockSelection:
+    def test_narrow_bus_at_high_rate_unbuildable(self):
+        shell = ShellSpec(kind=ShellKind.TWO_WAY_CORE, line_rate_bps=40e9, datapath_bits=64)
+        with pytest.raises(ConfigError, match="widen"):
+            shell.standard_ppe_clock_hz()
+
+    def test_wider_bus_fixes_it(self):
+        shell = ShellSpec(kind=ShellKind.TWO_WAY_CORE, line_rate_bps=40e9, datapath_bits=512)
+        assert shell.standard_ppe_clock_hz() <= 400e6
+
+    def test_describe(self):
+        desc = ShellSpec(kind=ShellKind.TWO_WAY_CORE).describe()
+        assert desc["kind"] == "two-way-core"
+        assert desc["rate_multiplier"] == 2.0

@@ -1,0 +1,139 @@
+"""Discrete-event engine: ordering, cancellation, periodic tasks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import PeriodicTask, Simulator
+
+
+class TestScheduling:
+    def test_time_advances(self, sim):
+        fired = []
+        sim.schedule(1.5, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 1.5
+
+    def test_fifo_order_for_equal_times(self, sim):
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        handle.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "in")
+        sim.schedule(5.0, fired.append, "out")
+        sim.run(until=2.0)
+        assert fired == ["in"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["in", "out"]
+
+    def test_run_until_advances_time_when_idle(self, sim):
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_max_events(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step(self, sim):
+        sim.schedule(1.0, lambda: None)
+        assert sim.step()
+        assert not sim.step()
+
+    def test_peek_next_time(self, sim):
+        assert sim.peek_next_time() is None
+        sim.schedule(4.0, lambda: None)
+        assert sim.peek_next_time() == 4.0
+
+    def test_run_not_reentrant(self, sim):
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self, sim):
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+
+class TestPeriodicTask:
+    def test_fires_on_interval(self, sim):
+        times = []
+        PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        sim.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_stop(self, sim):
+        count = []
+        task = PeriodicTask(sim, 1.0, lambda: count.append(1))
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert len(count) == 2
+
+    def test_start_after(self, sim):
+        times = []
+        PeriodicTask(sim, 1.0, lambda: times.append(sim.now), start_after=0.25)
+        sim.run(until=2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_invalid_interval(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 0.0, lambda: None)

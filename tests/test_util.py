@@ -1,0 +1,100 @@
+"""Unit tests for repro._util address/bit helpers."""
+
+import pytest
+
+from repro._util import (
+    ceil_div,
+    check_range,
+    clamp,
+    int_to_ip,
+    int_to_ip6,
+    int_to_mac,
+    ip6_to_int,
+    ip_to_int,
+    mac_to_int,
+)
+from repro.errors import ConfigError
+
+
+class TestMac:
+    def test_roundtrip(self):
+        assert int_to_mac(mac_to_int("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_dash_separator(self):
+        assert mac_to_int("aa-bb-cc-dd-ee-ff") == 0xAABBCCDDEEFF
+
+    def test_int_passthrough(self):
+        assert mac_to_int(0x010203040506) == 0x010203040506
+
+    def test_broadcast(self):
+        assert int_to_mac((1 << 48) - 1) == "ff:ff:ff:ff:ff:ff"
+
+    @pytest.mark.parametrize("bad", ["aa:bb:cc:dd:ee", "gg:bb:cc:dd:ee:ff", "", "aabbccddeeff"])
+    def test_invalid_strings(self, bad):
+        with pytest.raises(ConfigError):
+            mac_to_int(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ConfigError):
+            mac_to_int(1 << 48)
+        with pytest.raises(ConfigError):
+            int_to_mac(-1)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        assert int_to_ip(ip_to_int("192.168.1.200")) == "192.168.1.200"
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+
+    def test_extremes(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4"])
+    def test_invalid(self, bad):
+        with pytest.raises(ConfigError):
+            ip_to_int(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ConfigError):
+            int_to_ip(1 << 32)
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        assert int_to_ip6(ip6_to_int("2001:db8::1")) == "2001:db8::1"
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            ip6_to_int("not-an-address")
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            int_to_ip6(1 << 128)
+
+
+class TestBitHelpers:
+    def test_check_range_ok(self):
+        assert check_range("x", 255, 8) == 255
+
+    def test_check_range_rejects(self):
+        with pytest.raises(ConfigError):
+            check_range("x", 256, 8)
+        with pytest.raises(ConfigError):
+            check_range("x", -1, 8)
+
+    def test_ceil_div(self):
+        assert ceil_div(10, 5) == 2
+        assert ceil_div(11, 5) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_bad_denominator(self):
+        with pytest.raises(ConfigError):
+            ceil_div(1, 0)
+
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
