@@ -12,12 +12,10 @@ and buffer (cheaper, faster), while chaining modules buys independent
 upgrade/failure domains — a real deployment trade-off the paper implies.
 """
 
-import pytest
 
 from common import report
 from repro.apps import AclFirewall, AclRule, AppChain, StaticNat
-from repro.core import FlexSFPModule, ShellSpec
-from repro.hls import compile_app
+from repro.core import FlexSFPModule
 from repro.packet import make_udp
 from repro.sim import Port, Simulator, connect
 from repro.testbed import flexsfp_power_w

@@ -6,7 +6,6 @@ many of the use cases."  This bench compares the two control-plane
 classes on resources and module power for the NAT design.
 """
 
-import pytest
 
 from common import report
 from repro.apps import StaticNat

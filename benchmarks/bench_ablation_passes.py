@@ -8,7 +8,6 @@ optimizer, quantifying the saving that makes composed L2-L4 functions fit
 the module.
 """
 
-import pytest
 
 from common import report
 from repro.core import ShellSpec

@@ -7,7 +7,6 @@ fit, locating where the MPF200T runs out — the quantitative version of
 the paper's "compact chains" guidance.
 """
 
-import pytest
 
 from common import fmt_pct, report
 from repro.core import ShellKind, ShellSpec

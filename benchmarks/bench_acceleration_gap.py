@@ -15,7 +15,6 @@ numbers:
 
 import math
 
-import pytest
 
 from common import report
 from repro.costmodel import DPU_BF2, MANY_CORE

@@ -6,7 +6,6 @@ that FlexSFP targets "composed L2-L4 functions" while "deeply stateful
 pipelines or very large tables are out of scope by design" (§5.3).
 """
 
-import pytest
 
 from common import fmt_pct, report
 from repro.apps import APP_FACTORIES, create_app

@@ -1,0 +1,81 @@
+"""Robustness — the NAT under a randomized fault gauntlet.
+
+The paper deploys FlexSFPs in places where operators cannot easily reach
+them, so the module must survive what the field throws at it: link
+flaps, bit errors, flash rot, softcore crashes, spontaneous reboots.
+This benchmark drives the reference chaos topology (traffic host →
+legacy switch → NAT'd FlexSFP → impaired fiber, with a fleet controller
+on an impaired management link) through every named fault plan and
+reports recovery time, packets lost, and the fraction of damage
+incidents the module healed by itself (watchdog + golden fallback)
+versus needing a fleet re-deploy.
+
+Determinism is part of the contract: the same seed must reproduce the
+same schedule *and* the same recovery stats, which the benchmark
+verifies by running one plan twice.
+"""
+
+from common import fmt_pct, report
+from repro.faults import NAMED_PLANS, run_gauntlet
+
+SEED = 11
+PLANS = ("smoke", "linkstorm", "flashstorm", "crashloop", "brownout", "full")
+
+
+def compute_all():
+    results = [run_gauntlet(seed=SEED, plan=name) for name in PLANS]
+    rerun = run_gauntlet(seed=SEED, plan=PLANS[0])
+    return results, rerun
+
+
+def test_chaos_gauntlet(benchmark):
+    results, rerun = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+    report(
+        "Chaos gauntlet: NAT'd FlexSFP under named fault plans "
+        f"(seed={SEED}, 1.5 s runs)",
+        (
+            "plan",
+            "faults",
+            "lost",
+            "loss %",
+            "incidents",
+            "repairs",
+            "self-healed",
+            "recover ms",
+            "healthy",
+        ),
+        [
+            (
+                r.plan_name,
+                r.faults_applied,
+                r.packets_lost,
+                fmt_pct(r.loss_fraction),
+                r.incidents,
+                r.repairs,
+                fmt_pct(r.self_healed_fraction),
+                f"{r.recovery_time_s * 1e3:.1f}",
+                r.healthy_at_end,
+            )
+            for r in results
+        ],
+    )
+    assert set(PLANS) <= set(NAMED_PLANS)
+    # Same seed, same plan → byte-identical schedule and recovery stats.
+    assert rerun.to_dict() == results[0].to_dict()
+    for r in results:
+        assert r.faults_applied == len(NAMED_PLANS[r.plan_name](SEED))
+        # Every gauntlet ends with the module healthy and forwarding:
+        # the self-healing story is recovery, not mere survival.
+        assert r.healthy_at_end, r.plan_name
+        assert not r.degraded_at_end, r.plan_name
+        assert r.packets_received > 0, r.plan_name
+        assert r.loss_fraction < 0.5, r.plan_name
+    by_name = {r.plan_name: r for r in results}
+    # The brownout rots the golden image: not self-healable, the fleet
+    # controller must re-deploy (exactly the repair path under test).
+    assert by_name["brownout"].repairs >= 1
+    assert by_name["brownout"].self_healed_fraction < 1.0
+    assert by_name["brownout"].failed_boots >= 1
+    # Crash-only plans are fully self-healed by the hardware watchdog.
+    assert by_name["crashloop"].repairs == 0
+    assert by_name["crashloop"].self_healed_fraction == 1.0

@@ -12,7 +12,6 @@ import pytest
 from common import report
 from repro.apps import StaticNat
 from repro.core import FlexSFPModule
-from repro.hls import compile_app
 from repro.netem import CbrSource, ImixSource
 from repro.packet import make_udp
 from repro.sim import Port, RateMeter, Simulator, connect, goodput_fraction

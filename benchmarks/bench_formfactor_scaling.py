@@ -9,7 +9,6 @@ checks the MSA power envelope — producing the feasibility frontier the
 paper leaves as future work.
 """
 
-import pytest
 
 from common import report
 from repro.apps import StaticNat

@@ -19,14 +19,13 @@ paper poses: the module adds sub-microsecond latency but saves the entire
 uplink round for every dropped packet.
 """
 
-import pytest
 
 from common import report
 from repro.apps import AclFirewall, AclRule
 from repro.core import FlexSFPModule
 from repro.packet import make_udp
 from repro.sim import Port, Simulator, connect
-from repro.switch import Host, LegacySwitch
+from repro.switch import LegacySwitch
 
 KEY = b"bench-key"
 UPSTREAM_FIBER_S = 10e-6  # 2 km of fiber at 5 ns/m

@@ -10,7 +10,7 @@ comparison at line rate.
 import pytest
 
 from common import report
-from repro.apps import APP_FACTORIES, create_app
+from repro.apps import create_app
 from repro.core import ShellSpec
 from repro.hls import compile_app
 from repro.testbed import PowerTestbed, flexsfp_power_w

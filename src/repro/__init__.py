@@ -15,7 +15,8 @@ reproducing the FlexSFP paper (HotNets '25):
   tunnels, load balancing, rate limiting, telemetry, INT, DNS filtering,
   sanitization).
 * :mod:`repro.switch` — legacy switch + retrofit machinery.
-* :mod:`repro.netem` — workload generation.
+* :mod:`repro.netem` — workload generation and link impairments.
+* :mod:`repro.faults` — deterministic fault injection + chaos gauntlet.
 * :mod:`repro.costmodel` / :mod:`repro.testbed` — Table 3 economics and
   the §5 power testbed.
 
@@ -37,6 +38,7 @@ from . import (
     apps,
     core,
     costmodel,
+    faults,
     fleet,
     fpga,
     hls,
@@ -80,6 +82,7 @@ __all__ = [
     "apps",
     "core",
     "costmodel",
+    "faults",
     "fleet",
     "fpga",
     "hls",

@@ -9,17 +9,20 @@ exposes the toolkit's analysis surface without writing any code:
 * ``power`` — the §5 power series for a deployed application.
 * ``bom`` — the FlexSFP cost breakdown at a production volume.
 * ``scale GBPS`` — plan an operating point for a target line rate.
+* ``chaos PLAN`` — replay a named fault plan through the chaos gauntlet.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .apps import APP_FACTORIES, create_app
 from .core.shells import ControlPlaneClass, ShellKind, ShellSpec
 from .costmodel import FlexSfpBom, table3_rows
 from .errors import ConfigError, ReproError
+from .faults import NAMED_PLANS, run_gauntlet
 from .fpga import (
     DEVICES,
     FORM_FACTORS,
@@ -225,6 +228,36 @@ def cmd_envelope(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    plan = NAMED_PLANS[args.plan](args.seed)
+    result = run_gauntlet(seed=args.seed, plan=args.plan)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"plan {args.plan!r} seed={args.seed} sig={plan.signature()[:16]}…")
+    _print_rows(
+        ("t (ms)", "fault", "target"),
+        [(f"{e.time_s * 1e3:.1f}", e.kind, e.target) for e in plan],
+    )
+    print()
+    _print_rows(
+        ("metric", "value"),
+        [
+            ("packets sent", result.packets_sent),
+            ("packets lost", result.packets_lost),
+            ("loss fraction", f"{result.loss_fraction:.4f}"),
+            ("damage incidents", result.incidents),
+            ("fleet repairs", result.repairs),
+            ("self-healed fraction", f"{result.self_healed_fraction:.2f}"),
+            ("recovery time (ms)", f"{result.recovery_time_s * 1e3:.1f}"),
+            ("watchdog reboots", result.watchdog_reboots),
+            ("failed boots", result.failed_boots),
+            ("healthy at end", result.healthy_at_end),
+        ],
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -281,6 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
     envelope.add_argument("--width", type=int, default=64)
     envelope.add_argument("--clock", type=float, default=None, help="MHz")
     envelope.set_defaults(func=cmd_envelope)
+
+    chaos = sub.add_parser(
+        "chaos", help="replay a named fault plan through the chaos gauntlet"
+    )
+    chaos.add_argument("plan", choices=sorted(NAMED_PLANS))
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--json", action="store_true", help="machine-readable output")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -9,6 +9,7 @@ from .module import (
     PASSTHROUGH_LATENCY_S,
     RECONFIG_DOWNTIME_S,
     TRANSCEIVER_LATENCY_S,
+    WATCHDOG_TIMEOUT_S,
     FlexSFPModule,
 )
 from .ppe import (
@@ -72,6 +73,7 @@ __all__ = [
     "TernaryEntry",
     "TernaryTable",
     "Verdict",
+    "WATCHDOG_TIMEOUT_S",
     "chunk_body",
     "is_mgmt_frame",
     "mgmt_frame",

@@ -47,11 +47,35 @@ class ControlPlane:
         self.auth_failures = 0
         self.replays_rejected = 0
         self.commands_handled = 0
+        self.crashed = False
+        self._hung_until = 0.0
+        self.frames_while_unresponsive = 0
         self._reconfig_state = ReconfigState.IDLE
         self._reconfig_slot = 0
         self._reconfig_total = 0
         self._reconfig_sha = ""
         self._reconfig_buffer = bytearray()
+
+    # ------------------------------------------------------------------
+    # Softcore liveness (fault-injection surface)
+    # ------------------------------------------------------------------
+    @property
+    def responsive(self) -> bool:
+        """Is the softcore answering management traffic right now?"""
+        return not self.crashed and self.module.sim.now >= self._hung_until
+
+    def crash(self) -> None:
+        """The softcore wedges: no replies until the watchdog reboots it."""
+        self.crashed = True
+
+    def hang(self, duration_s: float) -> None:
+        """The softcore stalls for ``duration_s`` then resumes on its own."""
+        self._hung_until = max(self._hung_until, self.module.sim.now + duration_s)
+
+    def revive(self) -> None:
+        """Restart the softcore event loop (runs as part of a reboot)."""
+        self.crashed = False
+        self._hung_until = 0.0
 
     # ------------------------------------------------------------------
     # Frame-level entry point
@@ -60,8 +84,12 @@ class ControlPlane:
         """Authenticate, replay-check, and dispatch one management frame.
 
         Returns the reply message (ACK/NAK), or None when the frame fails
-        authentication (unauthenticated traffic gets no oracle).
+        authentication (unauthenticated traffic gets no oracle) or the
+        softcore is crashed/hung (a dead CPU answers nothing).
         """
+        if not self.responsive:
+            self.frames_while_unresponsive += 1
+            return None
         try:
             message = MgmtMessage.unpack(packet.payload, self.auth_key)
         except ControlPlaneError:
@@ -115,6 +143,8 @@ class ControlPlane:
             shell=self.module.shell.kind.value,
             boot_slot=self.module.flash.boot_slot,
             tables=self.module.app.tables.names(),
+            degraded=self.module.degraded,
+            failed_boots=self.module.failed_boots,
         )
 
     def _op_table_add(self, message: MgmtMessage) -> MgmtMessage:
@@ -253,4 +283,6 @@ class ControlPlane:
             "commands_handled": self.commands_handled,
             "auth_failures": self.auth_failures,
             "replays_rejected": self.replays_rejected,
+            "crashed": self.crashed,
+            "frames_while_unresponsive": self.frames_while_unresponsive,
         }

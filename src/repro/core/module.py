@@ -24,7 +24,8 @@ from __future__ import annotations
 from typing import Callable
 
 from .._util import mac_to_int
-from ..errors import ConfigError
+from ..errors import BitstreamError, ConfigError, FlashError
+from ..fpga.bitstream import Bitstream
 from ..fpga.flash import SPIFlash
 from ..fpga.resources import FPGADevice, MPF200T
 from ..packet import BROADCAST_MAC, Packet
@@ -41,6 +42,7 @@ TRANSCEIVER_LATENCY_S = 40e-9
 PASSTHROUGH_LATENCY_S = 25e-9
 CONTROL_PLANE_LATENCY_S = 5e-6
 RECONFIG_DOWNTIME_S = 120e-3
+WATCHDOG_TIMEOUT_S = 50e-3
 
 DEFAULT_AUTH_KEY = b"flexsfp-mgmt-key"
 
@@ -80,6 +82,7 @@ class FlexSFPModule:
         flash_slots: int = 4,
         device_id: int = 0,
         mgmt_mac: str | int = "02:f5:f9:00:00:01",
+        watchdog_timeout_s: float = WATCHDOG_TIMEOUT_S,
     ) -> None:
         from ..hls.compiler import compile_app  # deferred: avoids import cycle
 
@@ -116,10 +119,14 @@ class FlexSFPModule:
         )
 
         self._down = False
+        self.degraded = False
         self.reboots = 0
         self.failed_boots = 0
+        self.watchdog_timeout_s = watchdog_timeout_s
+        self.watchdog_reboots = 0
         self.verdict_drops = Counter(f"{name}.verdict_drops")
         self.downtime_drops = Counter(f"{name}.downtime_drops")
+        self.degraded_forwarded = Counter(f"{name}.degraded_forwarded")
         self.punted_to_cpu: list[Packet] = []
 
     # ------------------------------------------------------------------
@@ -172,6 +179,12 @@ class FlexSFPModule:
                 self._to_control_plane(packet.copy(), reply_port)
             # Management traffic for other modules rides the data path.
         packet.meta["flexsfp_ingress_ns"] = int(self.sim.now * 1e9)
+        if self.degraded:
+            # Degraded pass-through: no PPE, both directions forward at
+            # bare transceiver latency — the module is a dumb cable now.
+            self.degraded_forwarded.count(packet.wire_len)
+            self.sim.schedule(TRANSCEIVER_LATENCY_S, self._forward, packet, direction)
+            return
         if self.shell.processes(direction):
             accepted = self.ppe.submit(
                 packet,
@@ -265,34 +278,74 @@ class FlexSFPModule:
     def reboot(self, app_factory: Callable[[str, dict], PPEApplication] | None = None) -> None:
         """Reload the boot-slot bitstream and restart the PPE.
 
-        The module goes dark for ``RECONFIG_DOWNTIME_S`` (fabric
-        reprogramming); ingress during that window is dropped and counted.
-        The new application instance is rebuilt from the bitstream's
-        recorded parameters via the application registry (or a supplied
-        factory).
+        The boot FSM is a watchdog (§4): it tries the selected slot, and
+        on a corrupt or unreconstructible image (CRC failure, truncated
+        flash, unknown application) counts a failed boot and falls back to
+        the golden slot.  If golden fails too, the module enters *degraded
+        pass-through* — both directions forward at transceiver latency
+        with the PPE bypassed — rather than going dark; remote
+        reprogramming can never brick the port.
+
+        On a successful boot the module goes dark for
+        ``RECONFIG_DOWNTIME_S`` (fabric reprogramming); ingress during
+        that window is dropped and counted.  The new application instance
+        is rebuilt from the bitstream's recorded parameters via the
+        application registry (or a supplied factory).
         """
-        bitstream = self.flash.boot_image()
         if app_factory is None:
             from ..apps import create_app  # deferred: avoids import cycle
 
             app_factory = create_app
-        params = bitstream.metadata.get("app_params", {})
-        if bitstream.app_name == self.app.name:
-            new_app = self.app  # same application: keep runtime state
-        else:
-            try:
-                new_app = app_factory(bitstream.app_name, params)
-            except ConfigError:
-                # The image names an application this module cannot
-                # reconstruct (e.g. a custom program not in the registry).
-                # Behave like a watchdog: refuse the boot, keep running.
-                self.failed_boots += 1
-                return
+        booted = self._try_boot_slots(app_factory)
+        if booted is None:
+            self._enter_degraded()
+            return
+        bitstream, new_app = booted
+        self.degraded = False
+        self.control_plane.revive()  # the softcore restarts with the fabric
         self.app = new_app
         self.ppe = PacketProcessingEngine(
             self.sim, new_app, bitstream.timing, device_id=self.device_id
         )
         self.reboots += 1
+        self._down = True
+        self.sim.schedule(RECONFIG_DOWNTIME_S, self._boot_complete)
+
+    def _try_boot_slots(
+        self, app_factory: Callable[[str, dict], PPEApplication]
+    ) -> tuple[Bitstream, PPEApplication] | None:
+        """Boot-FSM core: selected slot first, then golden; None if both fail."""
+        slots = [self.flash.boot_slot]
+        if self.flash.boot_slot != 0:
+            slots.append(0)
+        for slot in slots:
+            try:
+                bitstream = self.flash.load_bitstream(slot)
+            except (FlashError, BitstreamError):
+                self.failed_boots += 1
+                continue
+            if bitstream.app_name == self.app.name:
+                return bitstream, self.app  # same application: keep state
+            try:
+                params = bitstream.metadata.get("app_params", {})
+                return bitstream, app_factory(bitstream.app_name, params)
+            except ConfigError:
+                # The image names an application this module cannot
+                # reconstruct (e.g. a custom program not in the registry).
+                self.failed_boots += 1
+        return None
+
+    def _enter_degraded(self) -> None:
+        """Both boot images are unusable: degrade to a dumb cable.
+
+        The fabric spends the usual reprogram window cycling through the
+        slots, then the hardwired retimer path takes over.  The management
+        endpoint stays reachable (it lives in the always-on configuration
+        controller, like a real FPGA's system controller), so the fleet
+        can push a fresh image and reboot the module out of degradation.
+        """
+        self.degraded = True
+        self.control_plane.revive()
         self._down = True
         self.sim.schedule(RECONFIG_DOWNTIME_S, self._boot_complete)
 
@@ -302,6 +355,23 @@ class FlexSFPModule:
     @property
     def is_down(self) -> bool:
         return self._down
+
+    # ------------------------------------------------------------------
+    # Softcore watchdog (fault-injection surface)
+    # ------------------------------------------------------------------
+    def crash_softcore(self) -> None:
+        """Wedge the control plane; the hardware watchdog reboots later."""
+        self.control_plane.crash()
+        self.sim.schedule(self.watchdog_timeout_s, self._watchdog_fire)
+
+    def hang_softcore(self, duration_s: float) -> None:
+        """Stall the control plane; it resumes on its own (no reboot)."""
+        self.control_plane.hang(duration_s)
+
+    def _watchdog_fire(self) -> None:
+        if self.control_plane.crashed:
+            self.watchdog_reboots += 1
+            self.reboot()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -316,6 +386,11 @@ class FlexSFPModule:
             "control_plane": self.control_plane.stats(),
             "control_fraction": self.arbiter.control_fraction(),
             "reboots": self.reboots,
+            "failed_boots": self.failed_boots,
+            "degraded": self.degraded,
+            "degraded_forwarded": self.degraded_forwarded.snapshot(),
+            "boot_slot": self.flash.boot_slot,
+            "watchdog_reboots": self.watchdog_reboots,
         }
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -1,0 +1,23 @@
+"""Deterministic fault injection and the chaos gauntlet.
+
+Plans (:class:`FaultPlan`) are seeded, serializable schedules of faults;
+the :class:`FaultInjector` binds them to live links and modules; the
+gauntlet (:func:`run_gauntlet`) runs the reference robustness experiment
+and reports recovery metrics.
+"""
+
+from .gauntlet import NAMED_PLANS, GauntletResult, run_gauntlet
+from .injector import FaultInjector
+from .plan import ALL_FAULTS, LINK_FAULTS, MODULE_FAULTS, FaultEvent, FaultPlan
+
+__all__ = [
+    "ALL_FAULTS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "GauntletResult",
+    "LINK_FAULTS",
+    "MODULE_FAULTS",
+    "NAMED_PLANS",
+    "run_gauntlet",
+]

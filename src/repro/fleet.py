@@ -12,13 +12,20 @@ their tables and counters, streams signed bitstreams, and performs
 with the new application before touching the next.
 
 Everything is event-driven: operations take completion callbacks and the
-controller enforces per-request timeouts, so lost frames (or dead
-modules) surface as errors rather than hangs.
+controller enforces per-request timeouts.  The management network is not
+assumed reliable: every tracked request is retried with exponential
+backoff plus seeded jitter (each attempt uses a fresh sequence number,
+so a delayed original is NAK'd by replay protection rather than
+double-applied), discovery re-broadcasts its HELLO across the window,
+and rolling upgrades health-probe each module after the reboot — a
+module that comes back wrong or degraded is rolled back to its previous
+boot slot.
 """
 
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,10 +40,17 @@ from .sim.stats import Counter
 
 BROADCAST = "ff:ff:ff:ff:ff:ff"
 DEFAULT_TIMEOUT_S = 20e-3
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF_BASE_S = 1e-3
+DEFAULT_BACKOFF_JITTER = 0.5
+DEFAULT_DISCOVERY_REPEATS = 3
 CHUNK_BYTES = 1024
 
 ReplyCallback = Callable[[dict | None], None]
-"""Receives the reply's JSON body, or None on timeout."""
+"""Receives the reply's JSON body, or None when every attempt timed out."""
+
+MessageFactory = Callable[[], MgmtMessage]
+"""Builds a fresh (new-sequence-number) message for each send attempt."""
 
 
 @dataclass
@@ -49,6 +63,7 @@ class ModuleInfo:
     shell: str
     boot_slot: int
     tables: list[str] = field(default_factory=list)
+    degraded: bool = False
 
 
 @dataclass
@@ -57,6 +72,7 @@ class UpgradeReport:
 
     upgraded: list[str] = field(default_factory=list)
     failed: list[tuple[str, str]] = field(default_factory=list)  # (mac, reason)
+    rolled_back: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -82,19 +98,28 @@ class FleetController:
         mac: str | int = "02:0c:00:00:00:0f",
         rate_bps: float = 1e9,
         timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_jitter: float = DEFAULT_BACKOFF_JITTER,
+        retry_seed: int = 1,
     ) -> None:
         self.sim = sim
         self.name = name
         self.auth_key = auth_key
         self.mac = mac
         self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_jitter = backoff_jitter
+        self._retry_rng = random.Random(retry_seed)
         self.port = Port(sim, f"{name}.mgmt", rate_bps=rate_bps)
         self.port.attach(self._on_rx)
         self._seq = 0
         self._pending: dict[int, _Pending] = {}
         self._discovered: dict[str, ModuleInfo] = {}
         self._discovering = False
-        self.timeouts = Counter(f"{name}.timeouts")
+        self.timeouts = Counter(f"{name}.timeouts")  # requests abandoned
+        self.retries = Counter(f"{name}.retries")  # individual resends
         self.naks = Counter(f"{name}.naks")
 
     # ------------------------------------------------------------------
@@ -104,30 +129,63 @@ class FleetController:
         self._seq += 1
         return self._seq
 
-    def _send(
+    def _send_once(
         self,
         dst_mac: str | int,
         message: MgmtMessage,
         on_reply: ReplyCallback | None,
         track: bool = True,
     ) -> None:
+        """One attempt: frame, arm the timeout, transmit. No retries."""
         frame = mgmt_frame(message, self.auth_key, self.mac, dst_mac)
         if track and on_reply is not None:
             timer = self.sim.schedule(self.timeout_s, self._timeout, message.seq)
             self._pending[message.seq] = _Pending(on_reply, timer)
         self.port.send(frame)
 
+    def _request(
+        self,
+        dst_mac: str | int,
+        make_message: MessageFactory,
+        on_reply: ReplyCallback,
+        retries: int | None = None,
+    ) -> None:
+        """Send with bounded retries, exponential backoff, and jitter.
+
+        ``make_message`` is invoked per attempt so every retransmission
+        carries a fresh sequence number — required because the original
+        may have been *received* with only its reply lost, and the module
+        replay-rejects reused sequence numbers.
+        """
+        budget = self.max_retries if retries is None else retries
+
+        def attempt(used: int) -> None:
+            def handle(body: dict | None) -> None:
+                if body is not None or used >= budget:
+                    if body is None:
+                        self.timeouts.count()
+                    on_reply(body)
+                    return
+                self.retries.count()
+                backoff = self.backoff_base_s * (2**used) * (
+                    1.0 + self.backoff_jitter * self._retry_rng.random()
+                )
+                self.sim.schedule(backoff, attempt, used + 1)
+
+            self._send_once(dst_mac, make_message(), handle)
+
+        attempt(0)
+
     def _timeout(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
         if pending is not None:
-            self.timeouts.count()
             pending.callback(None)
 
     def _on_rx(self, port: Port, packet: Packet) -> None:
         try:
             message = MgmtMessage.unpack(packet.payload, self.auth_key)
         except ControlPlaneError:
-            return
+            return  # corrupt or foreign frame; the timeout will handle it
         if message.opcode not in (MgmtOp.ACK, MgmtOp.NAK):
             return
         body = message.json_body()
@@ -143,6 +201,7 @@ class FleetController:
                 shell=str(body.get("shell", "")),
                 boot_slot=int(body.get("boot_slot", 0)),
                 tables=list(body.get("tables", [])),
+                degraded=bool(body.get("degraded", False)),
             )
         pending = self._pending.pop(message.seq, None)
         if pending is not None:
@@ -153,26 +212,40 @@ class FleetController:
     # Basic operations
     # ------------------------------------------------------------------
     def hello(self, mac: str | int, on_reply: ReplyCallback) -> None:
-        self._send(
-            mac, MgmtMessage.control(MgmtOp.HELLO, self._next_seq()), on_reply
+        self._request(
+            mac,
+            lambda: MgmtMessage.control(MgmtOp.HELLO, self._next_seq()),
+            on_reply,
         )
 
     def discover(
         self,
         window_s: float,
         on_done: Callable[[dict[str, ModuleInfo]], None],
+        repeats: int = DEFAULT_DISCOVERY_REPEATS,
     ) -> None:
-        """Broadcast HELLO; after ``window_s``, report every responder."""
+        """Broadcast HELLO; after ``window_s``, report every responder.
+
+        The HELLO is re-broadcast ``repeats`` times across the window so a
+        lossy management network still yields a complete census (replies
+        are deduplicated by source MAC).
+        """
         self._discovered = {}
         self._discovering = True
-        # Broadcast replies are matched by the discovery sniffer above;
-        # the per-request tracking is a no-op callback.
-        self._send(
-            BROADCAST,
-            MgmtMessage.control(MgmtOp.HELLO, self._next_seq()),
-            None,
-            track=False,
-        )
+
+        def fire() -> None:
+            # Built at fire time so sequence numbers stay monotonic even
+            # when unicast requests interleave with the re-broadcasts.
+            self._send_once(
+                BROADCAST,
+                MgmtMessage.control(MgmtOp.HELLO, self._next_seq()),
+                None,
+                track=False,
+            )
+
+        interval = window_s / (repeats + 1)
+        for index in range(max(1, repeats)):
+            self.sim.schedule(index * interval, fire)
 
         def finish() -> None:
             self._discovering = False
@@ -183,17 +256,33 @@ class FleetController:
     def table_add(
         self, mac: str | int, table: str, key, value, on_reply: ReplyCallback
     ) -> None:
-        self._send(
+        self._request(
             mac,
-            MgmtMessage.control(
+            lambda: MgmtMessage.control(
                 MgmtOp.TABLE_ADD, self._next_seq(), table=table, key=key, value=value
             ),
             on_reply,
         )
 
     def counter_read(self, mac: str | int, on_reply: ReplyCallback) -> None:
-        self._send(
-            mac, MgmtMessage.control(MgmtOp.COUNTER_READ, self._next_seq()), on_reply
+        self._request(
+            mac,
+            lambda: MgmtMessage.control(MgmtOp.COUNTER_READ, self._next_seq()),
+            on_reply,
+        )
+
+    def boot_select(self, mac: str | int, slot: int, on_reply: ReplyCallback) -> None:
+        self._request(
+            mac,
+            lambda: MgmtMessage.control(MgmtOp.BOOT_SELECT, self._next_seq(), slot=slot),
+            on_reply,
+        )
+
+    def reboot(self, mac: str | int, on_reply: ReplyCallback) -> None:
+        self._request(
+            mac,
+            lambda: MgmtMessage.control(MgmtOp.REBOOT, self._next_seq()),
+            on_reply,
         )
 
     # ------------------------------------------------------------------
@@ -211,7 +300,9 @@ class FleetController:
         """Stream a bitstream into ``slot``; optionally boot into it.
 
         ``on_done(ok, reason)`` fires after the commit (and, with
-        ``reboot``, after BOOT_SELECT + REBOOT are acknowledged).
+        ``reboot``, after BOOT_SELECT + REBOOT are acknowledged).  Every
+        step rides the retry transport, so a lossy management link slows
+        a deployment down rather than failing it.
         """
         image = bitstream.to_bytes()
         signature = bitstream.sign(
@@ -231,14 +322,13 @@ class FleetController:
             if index >= len(offsets):
                 return commit()
             offset = offsets[index]
-            message = MgmtMessage(
-                MgmtOp.RECONFIG_CHUNK,
-                self._next_seq(),
-                chunk_body(offset, image[offset : offset + CHUNK_BYTES]),
-            )
-            self._send(
+            self._request(
                 mac,
-                message,
+                lambda: MgmtMessage(
+                    MgmtOp.RECONFIG_CHUNK,
+                    self._next_seq(),
+                    chunk_body(offset, image[offset : offset + CHUNK_BYTES]),
+                ),
                 lambda reply: (
                     send_chunk(index + 1)
                     if reply and reply.get("ok")
@@ -247,9 +337,9 @@ class FleetController:
             )
 
         def commit() -> None:
-            self._send(
+            self._request(
                 mac,
-                MgmtMessage.control(
+                lambda: MgmtMessage.control(
                     MgmtOp.RECONFIG_COMMIT, self._next_seq(), signature=signature
                 ),
                 after_commit,
@@ -260,26 +350,21 @@ class FleetController:
                 return fail(f"commit rejected: {reply and reply.get('reason')}")
             if not reboot:
                 return on_done(True, "stored")
-            self._send(
-                mac,
-                MgmtMessage.control(MgmtOp.BOOT_SELECT, self._next_seq(), slot=slot),
-                after_select,
-            )
+            self.boot_select(mac, slot, after_select)
 
         def after_select(reply: dict | None) -> None:
             if not reply or not reply.get("ok"):
                 return fail("boot select rejected")
-            self._send(
+            self.reboot(
                 mac,
-                MgmtMessage.control(MgmtOp.REBOOT, self._next_seq()),
                 lambda reply: on_done(bool(reply and reply.get("ok")), "rebooting")
                 if reply
                 else fail("reboot not acknowledged"),
             )
 
-        self._send(
+        self._request(
             mac,
-            MgmtMessage.control(
+            lambda: MgmtMessage.control(
                 MgmtOp.RECONFIG_BEGIN,
                 self._next_seq(),
                 slot=slot,
@@ -303,10 +388,13 @@ class FleetController:
     ) -> None:
         """Upgrade modules one at a time, verifying each before the next.
 
-        After each deploy+reboot the controller waits ``settle_s`` (to
-        cover the reprogram downtime), then HELLOs the module and checks
-        it reports the new application.  A failure stops the rollout —
-        the canary behaviour a fleet operator wants.
+        Before touching a module the controller snapshots its current
+        boot slot.  After each deploy+reboot it waits ``settle_s`` (to
+        cover the reprogram downtime), then health-probes the module: it
+        must answer, report the new application, and not be degraded.  A
+        failed probe triggers an automatic *rollback* — boot-select back
+        to the snapshot slot and reboot — before the rollout stops (the
+        canary behaviour a fleet operator wants).
         """
         report = UpgradeReport()
         queue = list(macs)
@@ -315,29 +403,67 @@ class FleetController:
             if not queue:
                 return on_done(report)
             mac = queue.pop(0)
+            # Snapshot the pre-upgrade boot slot for a possible rollback.
+            self.hello(mac, lambda reply, m=mac: start_deploy(m, reply))
+
+        def start_deploy(mac: str, reply: dict | None) -> None:
+            if not reply or not reply.get("ok"):
+                report.failed.append((mac, "unreachable before upgrade"))
+                return on_done(report)
+            previous_slot = int(reply.get("boot_slot", 0))
             self.deploy(
                 mac,
                 bitstream,
                 slot,
-                lambda ok, reason, m=mac: after_deploy(m, ok, reason),
+                lambda ok, reason, m=mac, p=previous_slot: after_deploy(
+                    m, p, ok, reason
+                ),
                 deploy_key=deploy_key,
             )
 
-        def after_deploy(mac: str, ok: bool, reason: str) -> None:
+        def after_deploy(mac: str, previous_slot: int, ok: bool, reason: str) -> None:
             if not ok:
                 report.failed.append((mac, reason))
                 return on_done(report)  # stop the rollout
-            self.sim.schedule(settle_s, verify, mac)
+            self.sim.schedule(settle_s, probe, mac, previous_slot)
 
-        def verify(mac: str) -> None:
-            self.hello(mac, lambda reply, m=mac: after_verify(m, reply))
+        def probe(mac: str, previous_slot: int) -> None:
+            self.hello(
+                mac, lambda reply, m=mac, p=previous_slot: after_probe(m, p, reply)
+            )
 
-        def after_verify(mac: str, reply: dict | None) -> None:
-            if reply and reply.get("ok") and reply.get("app") == bitstream.app_name:
+        def after_probe(mac: str, previous_slot: int, reply: dict | None) -> None:
+            healthy = (
+                reply is not None
+                and reply.get("ok")
+                and reply.get("app") == bitstream.app_name
+                and not reply.get("degraded")
+            )
+            if healthy:
                 report.upgraded.append(mac)
-                next_module()
-            else:
-                report.failed.append((mac, "verification failed"))
-                on_done(report)
+                return next_module()
+            reason = (
+                "health probe timed out"
+                if reply is None
+                else "verification failed"
+                if reply.get("app") != bitstream.app_name
+                else "module degraded after upgrade"
+            )
+            rollback(mac, previous_slot, reason)
+
+        def rollback(mac: str, previous_slot: int, reason: str) -> None:
+            def after_rollback_reboot(reply: dict | None) -> None:
+                if reply and reply.get("ok"):
+                    report.rolled_back.append(mac)
+                report.failed.append((mac, reason))
+                on_done(report)  # stop the rollout after a canary failure
+
+            def after_rollback_select(reply: dict | None) -> None:
+                if not reply or not reply.get("ok"):
+                    report.failed.append((mac, f"{reason}; rollback failed"))
+                    return on_done(report)
+                self.reboot(mac, after_rollback_reboot)
+
+            self.boot_select(mac, previous_slot, after_rollback_select)
 
         next_module()

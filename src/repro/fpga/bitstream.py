@@ -69,6 +69,18 @@ class Bitstream:
         body = self._canonical()
         return body + zlib.crc32(body).to_bytes(4, "big")
 
+    @staticmethod
+    def crc_ok(data: bytes) -> bool:
+        """Cheap integrity probe: does ``data`` carry a valid image CRC?
+
+        This is the check the boot FSM runs before committing the fabric
+        to an image — a corrupt slot is detected here, without attempting
+        a full parse.
+        """
+        if len(data) < 12 or data[:4] != MAGIC:
+            return False
+        return zlib.crc32(data[:-4]) == int.from_bytes(data[-4:], "big")
+
     @classmethod
     def from_bytes(cls, data: bytes) -> "Bitstream":
         """Parse and CRC-check a serialized bitstream."""

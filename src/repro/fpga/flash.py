@@ -9,9 +9,10 @@ boot-selection register — the pieces the §4.2 reprogramming FSM needs.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-from ..errors import FlashError
+from ..errors import BitstreamError, FlashError
 from .bitstream import Bitstream
 
 DEFAULT_FLASH_BITS = 128 * 1024 * 1024  # 128 Mb (prototype)
@@ -49,6 +50,9 @@ class SPIFlash:
         self._erased = [True] * slots
         self.erase_counts = [0] * slots
         self.boot_slot = 0
+        self._write_failures_pending = 0
+        self.write_failures = 0
+        self.bitrot_events = 0
 
     # ------------------------------------------------------------------
     # Raw slot operations
@@ -83,6 +87,13 @@ class SPIFlash:
             raise FlashError(
                 f"image ({len(image)} B) exceeds slot size ({self.slot_bytes} B)"
             )
+        if self._write_failures_pending > 0:
+            # An injected program failure: the page buffer was written but
+            # never verified, leaving the slot part-programmed garbage.
+            self._write_failures_pending -= 1
+            self.write_failures += 1
+            self._erased[index] = False
+            raise FlashError(f"slot {index} program/verify failed")
         self._data[index] = image + bytes([ERASED_BYTE]) * (
             self.slot_bytes - len(image)
         )
@@ -127,10 +138,18 @@ class SPIFlash:
         """The bitstream the module will boot, falling back to golden."""
         try:
             return self.load_bitstream(self.boot_slot)
-        except FlashError:
+        except (FlashError, BitstreamError):
             if self.boot_slot != 0:
                 return self.load_bitstream(0)
             raise
+
+    def verify_slot(self, index: int) -> bool:
+        """Does the slot hold an image whose CRC checks out?"""
+        self._check_slot(index)
+        slot = self.slots[index]
+        if not slot.occupied:
+            return False
+        return Bitstream.crc_ok(self._data[index][: slot.image_len])
 
     def directory(self) -> list[FlashSlot]:
         """Snapshot of the slot directory."""
@@ -138,3 +157,34 @@ class SPIFlash:
             FlashSlot(s.index, s.size_bytes, s.occupied, s.app_name, s.image_len)
             for s in self.slots
         ]
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (exercised by repro.faults)
+    # ------------------------------------------------------------------
+    def corrupt_bits(self, index: int, nbits: int = 8, seed: int = 0) -> None:
+        """Bit-rot injection: flip ``nbits`` seeded-random bits in a slot.
+
+        Models charge leakage / disturb faults in the raw flash array.
+        The directory still lists the slot as occupied — exactly like the
+        real device, corruption is only discovered when the boot FSM
+        CRC-checks the image.  Golden is *not* exempt: physics does not
+        respect the write protect bit.
+        """
+        self._check_slot(index)
+        if nbits < 1:
+            raise FlashError("must corrupt at least one bit")
+        slot = self.slots[index]
+        span = slot.image_len if slot.occupied else self.slot_bytes
+        rng = random.Random(seed)
+        data = bytearray(self._data[index])
+        for _ in range(nbits):
+            position = rng.randrange(span)
+            data[position] ^= 1 << rng.randrange(8)
+        self._data[index] = bytes(data)
+        self.bitrot_events += 1
+
+    def inject_write_failures(self, count: int = 1) -> None:
+        """Make the next ``count`` image writes fail (wear-out model)."""
+        if count < 1:
+            raise FlashError("write failure count must be positive")
+        self._write_failures_pending += count

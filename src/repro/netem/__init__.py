@@ -2,7 +2,7 @@
 
 from .collector import CollectorState, FlowAggregate, TelemetryCollector
 from .flows import FlowSetGenerator, FlowSpec, flow_packets
-from .impairments import ImpairedPort
+from .impairments import ImpairedPort, LossyWire
 from .traffic import (
     IMIX_MIX,
     CbrSource,
@@ -21,6 +21,7 @@ __all__ = [
     "IMIX_MIX",
     "ImixSource",
     "ImpairedPort",
+    "LossyWire",
     "PoissonSource",
     "TelemetryCollector",
     "TrafficSource",

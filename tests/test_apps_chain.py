@@ -10,7 +10,7 @@ from repro.apps import (
     PacketSanitizer,
     StaticNat,
 )
-from repro.core import Direction, FlexSFPModule, ShellSpec, Verdict
+from repro.core import FlexSFPModule, ShellSpec, Verdict
 from repro.errors import ConfigError
 from repro.hls import StageKind, compile_app
 from repro.packet import make_udp

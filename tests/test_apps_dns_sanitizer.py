@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps import DnsFilter, PacketSanitizer, Passthrough, domain_suffixes
 from repro.core import Verdict
-from repro.packet import IPv4, Packet, make_dns_query, make_tcp, make_udp
+from repro.packet import Packet, make_dns_query, make_tcp, make_udp
 from tests.conftest import make_ctx
 
 

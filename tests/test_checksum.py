@@ -1,6 +1,5 @@
 """Checksum arithmetic: RFC 1071 vectors and RFC 1624 equivalence."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Telemetry collector: decoding and aggregating every FlexSFP feed."""
 
-import pytest
 
 from repro.apps import (
     FlowRecord,
@@ -10,10 +9,10 @@ from repro.apps import (
     pack_report,
 )
 from repro.apps.linkhealth import ALERT_PORT
-from repro.core import Direction, FlexSFPModule, ShellKind, ShellSpec
-from repro.netem import FlowAggregate, TelemetryCollector
+from repro.core import FlexSFPModule
+from repro.netem import TelemetryCollector
 from repro.packet import INTHop, UDPPort, make_udp
-from repro.sim import Simulator, connect
+from repro.sim import connect
 from repro.switch import Host
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.apps import StaticNat
 from repro.core import ShellKind, ShellSpec
 from repro.errors import CompileError
-from repro.fpga import MPF100T, MPF200T, Bitstream
+from repro.fpga import MPF100T, Bitstream
 from repro.hls import PipelineSpec, Stage, StageKind, compile_app, compile_pipeline, price_pipeline
 
 

@@ -16,7 +16,6 @@ from repro.core import (
     mgmt_frame,
 )
 from repro.hls import compile_app
-from repro.sim import Simulator
 
 KEY = b"unit-test-key"
 

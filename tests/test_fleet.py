@@ -1,13 +1,11 @@
 """Fleet orchestration: discovery, remote ops, rolling upgrades (§4.1)."""
 
-import pytest
 
-from repro.apps import AclFirewall, StaticNat, VlanTagger, create_app
-from repro.core import FlexSFPModule, ShellSpec
-from repro.fleet import FleetController, ModuleInfo, UpgradeReport
+from repro.apps import AclFirewall, VlanTagger
+from repro.core import ShellSpec
+from repro.fleet import FleetController, ModuleInfo
 from repro.hls import compile_app
-from repro.packet import make_udp
-from repro.sim import Simulator, connect
+from repro.sim import connect
 from repro.switch import LegacySwitch, PortPolicy, RetrofitPlan, apply_retrofit
 
 KEY = b"fleet-key"

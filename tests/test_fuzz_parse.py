@@ -6,7 +6,6 @@ exception.  These properties fuzz raw frames, mutated valid frames, and
 the management/DNS codecs.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

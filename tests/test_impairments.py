@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps import LinkHealthMonitor
-from repro.core import FlexSFPModule, ShellSpec
+from repro.core import FlexSFPModule
 from repro.errors import ConfigError
 from repro.netem import CbrSource, ImpairedPort
 from repro.packet import make_udp
@@ -121,3 +121,156 @@ class TestFlapDetectionEndToEnd:
         dead = [e for e in monitor.events if e.kind == "dead-interval"]
         assert dead, "flap not detected"
         assert dead[0].detail_ns >= 1_000_000
+
+
+class TestDarkRecheckAtDelivery:
+    def test_jittered_frame_cannot_land_inside_dark_window(self, sim):
+        """Regression: darkness is re-checked when the frame *surfaces*.
+
+        A frame that arrives before a flap but whose jitter pushes its
+        delivery into the dark window must be dropped, exactly as the
+        receiver losing light would drop it.
+        """
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", jitter_s=2e-3, seed=3)
+        received = []
+        rx.attach(lambda p, pkt: received.append(sim.now))
+        connect(tx, rx)
+        for _ in range(200):
+            tx.send(make_udp(payload=b"x" * 100))
+        # All frames arrive within ~20 us; the flap starts afterwards, so
+        # only jitter can carry a frame into [1 ms, 3 ms).
+        sim.schedule(1e-3, rx.flap, 2e-3)
+        sim.run(until=10e-3)
+        assert received, "everything was dropped?"
+        assert len(received) < 200  # some frames were jittered into the dark
+        assert not [t for t in received if 1e-3 <= t < 3e-3]
+        assert rx.impairment_drops.packets == 200 - len(received)
+
+    def test_duplicate_cannot_land_inside_dark_window(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", duplicate_probability=0.99, seed=1)
+        received = []
+        rx.attach(lambda p, pkt: received.append(sim.now))
+        connect(tx, rx)
+        tx.send(make_udp(payload=b"x" * 100))
+        # The duplicate trails the original by ~1-2 us: go dark then.
+        sim.schedule(0.5e-6, rx.flap, 1e-3)
+        sim.run(until=10e-3)
+        assert len(received) == 1  # original only; the copy died in the dark
+        assert rx.duplicated.packets == 1
+        assert rx.impairment_drops.packets == 1
+
+
+class TestCorruption:
+    def test_corruption_flips_payload_without_dropping(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", corrupt_probability=0.5, seed=11)
+        received = []
+        rx.attach(lambda p, pkt: received.append(pkt))
+        connect(tx, rx)
+        clean = b"A" * 64
+        for _ in range(200):
+            tx.send(make_udp(payload=clean))
+        sim.run()
+        assert len(received) == 200  # corruption never loses the frame
+        mangled = [pkt for pkt in received if pkt.payload != clean]
+        assert len(mangled) == rx.corrupted.packets
+        assert len(mangled) / 200 == pytest.approx(0.5, abs=0.1)
+        for pkt in mangled:  # exactly one bit of one byte flipped
+            diff = [i for i in range(64) if pkt.payload[i] != clean[i]]
+            assert len(diff) == 1
+            assert bin(pkt.payload[diff[0]] ^ clean[diff[0]]).count("1") == 1
+
+    def test_corrupt_burst_is_bounded(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", seed=6)
+        received = []
+        rx.attach(lambda p, pkt: received.append((sim.now, pkt)))
+        connect(tx, rx)
+        clean = bytes(470)
+        CbrSource(
+            sim, tx, rate_bps=1e9, frame_len=512, stop=6e-3,
+            factory=lambda i, n: make_udp(payload=clean),
+        )
+        sim.schedule(2e-3, rx.corrupt_burst, 2e-3, 1.0)
+        sim.run(until=7e-3)
+        for when, pkt in received:
+            if 2e-3 <= when < 4e-3:
+                assert pkt.payload != clean  # inside the burst: all mangled
+            else:
+                assert pkt.payload == clean  # outside: untouched
+
+    def test_corruption_validation(self, sim):
+        with pytest.raises(ConfigError):
+            ImpairedPort(sim, "bad", corrupt_probability=1.0)
+        with pytest.raises(ConfigError):
+            ImpairedPort(sim, "x").corrupt_burst(1e-3, 1.5)
+        with pytest.raises(ConfigError):
+            ImpairedPort(sim, "y").corrupt_burst(0.0, 0.5)
+
+
+class TestDuplication:
+    def test_duplicates_deliver_twice(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", duplicate_probability=0.3, seed=8)
+        received = []
+        rx.attach(lambda p, pkt: received.append(pkt))
+        connect(tx, rx)
+        for _ in range(300):
+            tx.send(make_udp(payload=b"x" * 100))
+        sim.run()
+        assert len(received) == 300 + rx.duplicated.packets
+        assert rx.duplicated.packets / 300 == pytest.approx(0.3, abs=0.07)
+
+    def test_loss_bursts_stack_on_base_loss(self, sim):
+        tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
+        rx = ImpairedPort(sim, "rx", loss_probability=0.05, seed=13)
+        received = []
+        rx.attach(lambda p, pkt: received.append(sim.now))
+        connect(tx, rx)
+        CbrSource(sim, tx, rate_bps=1e9, frame_len=512, stop=6e-3)
+        sim.schedule(2e-3, rx.loss_burst, 2e-3, 1.0)
+        sim.run(until=7e-3)
+        assert not [t for t in received if 2e-3 <= t < 4e-3]
+        assert [t for t in received if t < 2e-3]
+        assert [t for t in received if t >= 4e-3]
+
+
+class TestLossyWire:
+    def test_forwards_both_directions(self, sim):
+        from repro.netem import LossyWire
+
+        wire = LossyWire(sim, "w", rate_bps=10e9)
+        left = Port(sim, "left", 10e9)
+        right = Port(sim, "right", 10e9)
+        left_rx, right_rx = [], []
+        left.attach(lambda p, pkt: left_rx.append(pkt))
+        right.attach(lambda p, pkt: right_rx.append(pkt))
+        left.connect(wire.a)
+        wire.b.connect(right)
+        left.send(make_udp(payload=b"east"))
+        right.send(make_udp(payload=b"west"))
+        sim.run(until=1e-3)
+        assert [pkt.payload for pkt in right_rx] == [b"east"]
+        assert [pkt.payload for pkt in left_rx] == [b"west"]
+
+    def test_flap_darkens_both_directions(self, sim):
+        from repro.netem import LossyWire
+
+        wire = LossyWire(sim, "w", rate_bps=10e9)
+        left = Port(sim, "left", 10e9)
+        right = Port(sim, "right", 10e9)
+        left_rx, right_rx = [], []
+        left.attach(lambda p, pkt: left_rx.append(pkt))
+        right.attach(lambda p, pkt: right_rx.append(pkt))
+        left.connect(wire.a)
+        wire.b.connect(right)
+        wire.flap(1e-3)
+        left.send(make_udp())
+        right.send(make_udp())
+        sim.run(until=0.5e-3)
+        assert left_rx == [] and right_rx == []
+        stats = wire.stats()
+        assert stats["drops"] == 2
+        assert stats["flaps"] == 2  # one per endpoint

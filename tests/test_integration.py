@@ -10,16 +10,8 @@ import hashlib
 
 import pytest
 
-from repro.apps import (
-    AclFirewall,
-    DnsFilter,
-    InbandTelemetry,
-    RateLimiter,
-    StaticNat,
-    unpack_report,
-)
+from repro.apps import AclFirewall, InbandTelemetry, StaticNat, unpack_report
 from repro.core import (
-    Direction,
     FlexSFPModule,
     MgmtMessage,
     MgmtOp,
@@ -32,7 +24,7 @@ from repro.core import (
 from repro.hls import compile_app
 from repro.netem import CbrSource
 from repro.packet import INTShim, UDPPort, make_dns_query, make_udp
-from repro.sim import Port, RateMeter, Simulator, connect
+from repro.sim import Port, RateMeter, connect
 from repro.switch import Host, LegacySwitch, PortPolicy, RetrofitPlan, apply_retrofit
 
 KEY = b"integration-key"

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.packet import make_udp, pad_to_min
-from repro.sim import Port, Simulator, connect
+from repro.sim import Port, connect
 
 
 def make_pair(sim, rate=10e9, queue_bytes=4096):

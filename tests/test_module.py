@@ -1,6 +1,5 @@
 """FlexSFPModule end-to-end: datapath, arbiter, verdicts, reboot."""
 
-import pytest
 
 from repro.apps import AclFirewall, AclRule, StaticNat, Passthrough
 from repro.core import (
@@ -13,8 +12,8 @@ from repro.core import (
     ShellSpec,
     mgmt_frame,
 )
-from repro.packet import Packet, make_udp
-from repro.sim import Port, Simulator, connect
+from repro.packet import make_udp
+from repro.sim import Port, connect
 
 KEY = b"module-test-key"
 

@@ -8,7 +8,7 @@ with representative traffic, asserting deployment-level behaviour.
 import pytest
 
 from repro.apps import APP_FACTORIES, TunnelRoute, create_app
-from repro.core import Direction, FlexSFPModule, ShellKind, ShellSpec
+from repro.core import FlexSFPModule, ShellKind, ShellSpec
 from repro.packet import (
     GRE,
     IPv4,
@@ -20,7 +20,7 @@ from repro.packet import (
     make_udp,
     make_udp6,
 )
-from repro.sim import Port, Simulator, connect
+from repro.sim import Port, connect
 
 KEY = b"matrix-key"
 

@@ -6,11 +6,8 @@ from repro.errors import SerializationError
 from repro.packet import (
     GRE,
     ICMP,
-    INTShim,
     IPv4,
-    IPv6,
     Packet,
-    TCP,
     UDP,
     VLAN,
     VXLAN,

@@ -14,7 +14,6 @@ from repro.packet import (
     IPProto,
     incremental_update32,
     internet_checksum,
-    make_udp,
     vlan_pop,
     vlan_push,
 )

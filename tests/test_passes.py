@@ -1,6 +1,5 @@
 """Optimizer passes over the pipeline IR."""
 
-import pytest
 
 from repro.hls import (
     PipelineSpec,

@@ -1,6 +1,5 @@
 """pcap writer/reader roundtrips."""
 
-import struct
 
 import pytest
 

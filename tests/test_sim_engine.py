@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import PeriodicTask, Simulator
+from repro.sim import PeriodicTask
 
 
 class TestScheduling:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps import StaticNat, VlanTagger
+from repro.apps import VlanTagger
 from repro.core import FlexSFPModule, ShellKind
 from repro.errors import ConfigError, SimulationError
 from repro.packet import VLAN, make_udp
