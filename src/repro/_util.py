@@ -8,12 +8,14 @@ provide the handful of bit-twiddling utilities used across the toolkit.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 from .errors import ConfigError
 
 _MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
 
 
+@lru_cache(maxsize=1024)
 def mac_to_int(mac: str | int) -> int:
     """Coerce a MAC address (``aa:bb:cc:dd:ee:ff`` or int) to a 48-bit int."""
     if isinstance(mac, int):
@@ -33,6 +35,7 @@ def int_to_mac(value: int) -> str:
     return ":".join(f"{b:02x}" for b in raw)
 
 
+@lru_cache(maxsize=1024)
 def ip_to_int(ip: str | int) -> int:
     """Coerce an IPv4 address (dotted quad or int) to a 32-bit int."""
     if isinstance(ip, int):

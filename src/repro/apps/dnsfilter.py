@@ -12,6 +12,7 @@ Two enforcement mechanisms:
 from __future__ import annotations
 
 from .._util import ip_to_int
+from ..core.flowcache import FlowRecipe
 from ..core.ppe import PPEApplication, PPEContext, Verdict
 from ..core.tables import ExactTable
 from ..hls.ir import PipelineSpec, Stage, StageKind
@@ -85,6 +86,33 @@ class DnsFilter(PPEApplication):
                     return Verdict.DROP
             self.counter("dns_allowed").count(packet.wire_len)
         return Verdict.PASS
+
+    def flow_key(self, packet: Packet):
+        udp = packet.udp
+        if udp is not None and 53 in (udp.sport, udp.dport):
+            # Potential cleartext DNS: the verdict depends on the QNAME in
+            # the payload, not on any flow key — never cache.
+            return None
+        ip = packet.ipv4
+        l4 = packet.get(TCP) or packet.get(UDP)
+        return (
+            ip.dst if ip is not None else None,
+            l4.dport if l4 is not None else None,
+        )
+
+    def decide(self, packet: Packet, ctx: PPEContext) -> FlowRecipe | None:
+        if self.block_doh:
+            ip = packet.ipv4
+            l4 = packet.get(TCP) or packet.get(UDP)
+            if (
+                ip is not None
+                and l4 is not None
+                and l4.dport == 443
+                and self.doh_resolvers.lookup(ip.dst)
+            ):
+                return FlowRecipe(Verdict.DROP, counters=("doh_blocked",))
+        # flow_key filtered out anything DNS-parseable; the rest passes.
+        return FlowRecipe(Verdict.PASS)
 
     def pipeline_spec(self) -> PipelineSpec:
         return PipelineSpec(

@@ -88,6 +88,15 @@ class RateLimiter(PPEApplication):
         self.counter("policed").count(packet.wire_len)
         return Verdict.DROP
 
+    def flow_key(self, packet: Packet) -> None:
+        """Never cacheable: token buckets are time-varying state.
+
+        The same flow conforms now and is policed a microsecond later, so
+        no :class:`~repro.core.flowcache.FlowRecipe` can replay the
+        decision.  Explicit override to document the opt-out.
+        """
+        return None
+
     def pipeline_spec(self) -> PipelineSpec:
         return PipelineSpec(
             name=self.name,

@@ -94,7 +94,16 @@ def cmd_build(args: argparse.Namespace) -> int:
     shell = _shell_from_args(args)
     device = get_device(args.device)
     clock_hz = args.clock * 1e6 if args.clock else None
-    result = compile_app(app, shell, device=device, clock_hz=clock_hz, strict=False)
+    result = compile_app(
+        app,
+        shell,
+        device=device,
+        clock_hz=clock_hz,
+        strict=False,
+        flow_cache_entries=(
+            args.cache_entries if getattr(args, "fastpath", False) else None
+        ),
+    )
     report = result.report
     print(
         f"{args.app} on {device.name} / {shell.kind.value}: "
@@ -116,6 +125,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     args.app = "nat"
     args.device = "MPF200T"
     args.clock = None
+    args.fastpath = False
     return cmd_build(args)
 
 
@@ -230,7 +240,12 @@ def cmd_envelope(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     plan = NAMED_PLANS[args.plan](args.seed)
-    result = run_gauntlet(seed=args.seed, plan=args.plan)
+    result = run_gauntlet(
+        seed=args.seed,
+        plan=args.plan,
+        fastpath=True if args.fastpath else None,
+        batch_size=args.batch if args.batch else None,
+    )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -280,6 +295,17 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--width", type=int, default=64, help="datapath bits")
     build.add_argument("--clock", type=float, default=None, help="PPE clock in MHz")
     build.add_argument("--soc", action="store_true", help="SoC-class control plane")
+    build.add_argument(
+        "--fastpath",
+        action="store_true",
+        help="include the flow-cache fast path in the build",
+    )
+    build.add_argument(
+        "--cache-entries",
+        type=int,
+        default=4096,
+        help="flow-cache entries (with --fastpath)",
+    )
     build.set_defaults(func=cmd_build)
 
     t1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
@@ -321,6 +347,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("plan", choices=sorted(NAMED_PLANS))
     chaos.add_argument("--seed", type=int, default=1)
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
+    chaos.add_argument(
+        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+    )
+    chaos.add_argument(
+        "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
+    )
     chaos.set_defaults(func=cmd_chaos)
 
     return parser

@@ -2,6 +2,7 @@
 
 from .arbiter import Arbiter, is_mgmt_frame
 from .controlplane import ControlPlane, ReconfigState
+from .flowcache import DEFAULT_FLOW_CACHE_ENTRIES, FlowCache, FlowRecipe
 from .mgmt import MgmtMessage, MgmtOp, chunk_body, mgmt_frame, parse_chunk_body
 from .module import (
     CONTROL_PLANE_LATENCY_S,
@@ -49,9 +50,12 @@ __all__ = [
     "ControlPlaneClass",
     "ControlPlaneService",
     "DEFAULT_AUTH_KEY",
+    "DEFAULT_FLOW_CACHE_ENTRIES",
     "Direction",
     "ExactTable",
     "FlexSFPModule",
+    "FlowCache",
+    "FlowRecipe",
     "IcmpEchoResponder",
     "LPMTable",
     "MgmtMessage",

@@ -29,12 +29,18 @@ class Arbiter:
         self.to_data = Counter(f"{name}.to_data")
         self.from_cpu = Counter(f"{name}.from_cpu")
 
-    def classify(self, packet: Packet) -> str:
-        """Classify one ingress frame: ``"cpu"`` or ``"data"``."""
+    def classify(self, packet: Packet, size: int | None = None) -> str:
+        """Classify one ingress frame: ``"cpu"`` or ``"data"``.
+
+        ``size`` lets hot callers that already know the wire length avoid
+        recomputing it for the byte counters.
+        """
+        if size is None:
+            size = packet.wire_len
         if is_mgmt_frame(packet):
-            self.to_cpu.count(packet.wire_len)
+            self.to_cpu.count(size)
             return "cpu"
-        self.to_data.count(packet.wire_len)
+        self.to_data.count(size)
         return "data"
 
     def merge_from_cpu(self, packet: Packet) -> Packet:

@@ -21,6 +21,7 @@ Latency constants (documented substitutes for measured silicon values):
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from .._util import mac_to_int
@@ -34,6 +35,7 @@ from ..sim.link import Port
 from ..sim.stats import Counter
 from .arbiter import Arbiter
 from .controlplane import ControlPlane
+from .flowcache import DEFAULT_FLOW_CACHE_ENTRIES, FlowCache
 from .ppe import Direction, PacketProcessingEngine, PPEApplication, Verdict
 from .services import ServiceRegistry
 from .shells import PROTOTYPE_SHELL, ShellKind, ShellSpec
@@ -45,6 +47,23 @@ RECONFIG_DOWNTIME_S = 120e-3
 WATCHDOG_TIMEOUT_S = 50e-3
 
 DEFAULT_AUTH_KEY = b"flexsfp-mgmt-key"
+
+
+def _env_fastpath() -> bool:
+    """Default for the flow-cache fast path (FLEXSFP_FASTPATH env var)."""
+    raw = os.environ.get("FLEXSFP_FASTPATH", "")
+    return raw.strip().lower() in ("1", "true", "on", "yes")
+
+
+def _env_batch_size() -> int:
+    """Default PPE batch size (FLEXSFP_BATCH env var, >= 1)."""
+    raw = os.environ.get("FLEXSFP_BATCH", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
 
 
 class FlexSFPModule:
@@ -67,6 +86,13 @@ class FlexSFPModule:
         A pre-computed :class:`~repro.hls.compiler.BuildResult`; when
         omitted the module synthesizes ``app`` itself (raising if it does
         not fit or misses timing).
+    fastpath / batch_size:
+        Simulation-speed knobs (results are differentially tested to be
+        identical): ``fastpath`` puts a :class:`FlowCache` in front of the
+        PPE; ``batch_size`` > 1 drains up to that many frames per
+        scheduled event and coalesces port events.  ``None`` reads the
+        ``FLEXSFP_FASTPATH`` / ``FLEXSFP_BATCH`` environment variables
+        (so CI can run the whole suite with the fast path on).
     """
 
     def __init__(
@@ -83,6 +109,9 @@ class FlexSFPModule:
         device_id: int = 0,
         mgmt_mac: str | int = "02:f5:f9:00:00:01",
         watchdog_timeout_s: float = WATCHDOG_TIMEOUT_S,
+        fastpath: bool | None = None,
+        batch_size: int | None = None,
+        flow_cache_entries: int = DEFAULT_FLOW_CACHE_ENTRIES,
     ) -> None:
         from ..hls.compiler import compile_app  # deferred: avoids import cycle
 
@@ -97,15 +126,59 @@ class FlexSFPModule:
         self.auth_key = auth_key
         self.deploy_key = deploy_key if deploy_key is not None else auth_key
 
-        self.build = build if build is not None else compile_app(app, shell, device)
+        self.fastpath = _env_fastpath() if fastpath is None else fastpath
+        self.batch_size = _env_batch_size() if batch_size is None else batch_size
+        self.flow_cache = (
+            FlowCache(flow_cache_entries, name=f"{name}.flow_cache")
+            if self.fastpath
+            else None
+        )
+
+        self.build = (
+            build
+            if build is not None
+            else compile_app(
+                app,
+                shell,
+                device,
+                flow_cache_entries=flow_cache_entries if self.fastpath else None,
+            )
+        )
         self.flash = SPIFlash(slots=flash_slots)
         self.flash.store_bitstream(0, self.build.bitstream, allow_golden=True)
         self.flash.select_boot(0)
 
-        self.edge_port = Port(sim, f"{name}.edge", rate_bps=shell.line_rate_bps)
-        self.line_port = Port(sim, f"{name}.line", rate_bps=shell.line_rate_bps)
+        # Batched execution also opts the module's own ports into batched
+        # delivery: the ingress path understands ``link_deliver_s`` stamps.
+        coalesce = self.batch_size > 1
+        self.edge_port = Port(
+            sim,
+            f"{name}.edge",
+            rate_bps=shell.line_rate_bps,
+            coalesce=coalesce,
+            batch_rx=coalesce,
+        )
+        self.line_port = Port(
+            sim,
+            f"{name}.line",
+            rate_bps=shell.line_rate_bps,
+            coalesce=coalesce,
+            batch_rx=coalesce,
+        )
         self.edge_port.attach(self._on_edge_rx)
         self.line_port.attach(self._on_line_rx)
+        if coalesce:
+            # One PPE group-event commit per delivery flush instead of a
+            # cancel/re-arm per submitted frame.  Routed through module
+            # methods (not bound PPE methods) so a reboot-swapped engine
+            # keeps receiving the brackets.
+            self.edge_port.rx_flush_begin = self._rx_flush_begin
+            self.edge_port.rx_flush_end = self._rx_flush_end
+            self.line_port.rx_flush_begin = self._rx_flush_begin
+            self.line_port.rx_flush_end = self._rx_flush_end
+            # Whole-flush ingress: one call per delivery batch.
+            self.edge_port.attach_batch(self._on_edge_rx_batch)
+            self.line_port.attach_batch(self._on_line_rx_batch)
         self.mgmt_port: Port | None = None
         if shell.kind is ShellKind.ACTIVE_CORE:
             self.mgmt_port = Port(sim, f"{name}.mgmt", rate_bps=1e9)
@@ -115,7 +188,12 @@ class FlexSFPModule:
         self.control_plane = ControlPlane(self, auth_key)
         self.services = ServiceRegistry()
         self.ppe = PacketProcessingEngine(
-            sim, app, self.build.report.timing, device_id=device_id
+            sim,
+            app,
+            self.build.report.timing,
+            device_id=device_id,
+            batch_size=self.batch_size,
+            flow_cache=self.flow_cache,
         )
 
         self._down = False
@@ -137,6 +215,80 @@ class FlexSFPModule:
 
     def _on_line_rx(self, port: Port, packet: Packet) -> None:
         self._ingress(packet, Direction.LINE_TO_EDGE, reply_port=self.line_port)
+
+    def _rx_flush_begin(self) -> None:
+        self.ppe.flush_begin()
+
+    def _rx_flush_end(self) -> None:
+        self.ppe.flush_end()
+
+    def _on_edge_rx_batch(
+        self, port: Port, items: list[tuple[Packet, int, float]]
+    ) -> None:
+        self._ingress_batch(items, Direction.EDGE_TO_LINE, self.edge_port)
+
+    def _on_line_rx_batch(
+        self, port: Port, items: list[tuple[Packet, int, float]]
+    ) -> None:
+        self._ingress_batch(items, Direction.LINE_TO_EDGE, self.line_port)
+
+    def _ingress_batch(
+        self,
+        items: list[tuple[Packet, int, float]],
+        direction: Direction,
+        reply_port: Port,
+    ) -> None:
+        """Whole-flush ingress: :meth:`_ingress` fused over one delivery batch.
+
+        Per-frame behaviour (classification order, timestamps, drop
+        accounting) is identical to the per-frame path with ``at_s`` set
+        to each frame's stamped delivery time.  Module state transitions
+        (reboot, degradation, PPE swap) are all event-scheduled, so the
+        hot-path lookups are loop-invariant within one flush.
+        """
+        if self._down:
+            drops = self.downtime_drops
+            for _packet, size, _when in items:
+                drops.count(size)
+            return
+        classify = self.arbiter.classify
+        degraded = self.degraded
+        processes = self.shell.processes(direction)
+        # ``submit`` dispatches on batch mode per call; batched modules
+        # can bind the batched admission directly.
+        ppe = self.ppe
+        batched = ppe.batch_size > 1
+        submit = ppe._submit_batched if batched else ppe.submit
+        done = (
+            self._done_edge_to_line
+            if direction is Direction.EDGE_TO_LINE
+            else self._done_line_to_edge
+        )
+        for packet, size, when in items:
+            if classify(packet, size) == "cpu":
+                addressing = self._mgmt_addressing(packet)
+                if addressing == "us":
+                    self._to_control_plane(packet, reply_port, when)
+                    continue
+                if addressing == "broadcast":
+                    self._to_control_plane(packet.copy(), reply_port, when)
+            packet.meta["flexsfp_ingress_ns"] = int(when * 1e9)
+            if degraded:
+                self.degraded_forwarded.count(size)
+                self._egress_port(direction).send_at(
+                    packet, when + TRANSCEIVER_LATENCY_S, size
+                )
+            elif processes:
+                if batched:
+                    submit(packet, size, direction, done, when)
+                else:
+                    submit(packet, direction, done, at_s=when, size=size)
+            else:
+                self._egress_port(direction).send_at(
+                    packet,
+                    when + (TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S),
+                    size,
+                )
 
     def _on_mgmt_rx(self, port: Port, packet: Packet) -> None:
         # The out-of-band management port carries only control traffic
@@ -169,39 +321,56 @@ class FlexSFPModule:
         if self._down:
             self.downtime_drops.count(packet.wire_len)
             return
-        if self.arbiter.classify(packet) == "cpu":
+        # Batch-delivered ingress hands the frame over early, carrying its
+        # exact wire arrival; everything below uses that virtual time so
+        # timestamps and occupancy checks match the event-per-frame run.
+        at_s = packet.meta.pop("link_deliver_s", None)
+        size = packet.wire_len
+        if self.arbiter.classify(packet, size) == "cpu":
             addressing = self._mgmt_addressing(packet)
             if addressing == "us":
-                self._to_control_plane(packet, reply_port)
+                self._to_control_plane(packet, reply_port, at_s)
                 return
             if addressing == "broadcast":
                 # Answer discovery and let the frame continue downstream.
-                self._to_control_plane(packet.copy(), reply_port)
+                self._to_control_plane(packet.copy(), reply_port, at_s)
             # Management traffic for other modules rides the data path.
-        packet.meta["flexsfp_ingress_ns"] = int(self.sim.now * 1e9)
+        packet.meta["flexsfp_ingress_ns"] = int(
+            (self.sim.now if at_s is None else at_s) * 1e9
+        )
         if self.degraded:
             # Degraded pass-through: no PPE, both directions forward at
             # bare transceiver latency — the module is a dumb cable now.
-            self.degraded_forwarded.count(packet.wire_len)
-            self.sim.schedule(TRANSCEIVER_LATENCY_S, self._forward, packet, direction)
+            self.degraded_forwarded.count(size)
+            port = self._egress_port(direction)
+            if at_s is None:
+                port.send_delayed(packet, TRANSCEIVER_LATENCY_S)
+            else:
+                port.send_at(packet, at_s + TRANSCEIVER_LATENCY_S, size)
             return
         if self.shell.processes(direction):
             accepted = self.ppe.submit(
                 packet,
                 direction,
-                lambda pkt, verdict, emitted, d=direction: self._ppe_done(
-                    pkt, verdict, emitted, d
-                ),
+                self._done_edge_to_line
+                if direction is Direction.EDGE_TO_LINE
+                else self._done_line_to_edge,
+                at_s=at_s,
+                size=size,
             )
             if not accepted:
                 return  # counted by the PPE as an overload drop
         else:
-            self.sim.schedule(
-                TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S,
-                self._forward,
-                packet,
-                direction,
-            )
+            port = self._egress_port(direction)
+            if at_s is None:
+                port.send_delayed(
+                    packet, TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S
+                )
+            else:
+                port.send_at(
+                    packet,
+                    at_s + (TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S),
+                )
 
     # ------------------------------------------------------------------
     # Egress / verdict routing
@@ -215,6 +384,24 @@ class FlexSFPModule:
     def _forward(self, packet: Packet, direction: Direction) -> None:
         self._egress_port(direction).send(packet)
 
+    # Pre-bound PPE completion callbacks (one per direction) so the hot
+    # ingress path does not allocate a closure per frame.
+    def _done_edge_to_line(
+        self,
+        packet: Packet,
+        verdict: Verdict,
+        emitted: list[tuple[Packet, Direction]],
+    ) -> None:
+        self._ppe_done(packet, verdict, emitted, Direction.EDGE_TO_LINE)
+
+    def _done_line_to_edge(
+        self,
+        packet: Packet,
+        verdict: Verdict,
+        emitted: list[tuple[Packet, Direction]],
+    ) -> None:
+        self._ppe_done(packet, verdict, emitted, Direction.LINE_TO_EDGE)
+
     def _ppe_done(
         self,
         packet: Packet,
@@ -222,26 +409,49 @@ class FlexSFPModule:
         emitted: list[tuple[Packet, Direction]],
         direction: Direction,
     ) -> None:
+        # Batched PPE execution runs this callback at the batch tail but
+        # records the frame's virtual deliver time; egressing at that
+        # absolute time (plus the transceiver crossing, added in the same
+        # float order as the event-per-frame path) keeps downstream
+        # serialization timestamps bit-identical.
+        deliver_s = packet.meta.pop("ppe_deliver_s", None)
         if verdict is Verdict.PASS:
-            self.sim.schedule(TRANSCEIVER_LATENCY_S, self._forward, packet, direction)
-        elif verdict is Verdict.REFLECT:
-            self.sim.schedule(
-                TRANSCEIVER_LATENCY_S, self._forward, packet, direction.reverse
+            # Inlined _egress/send_at for the dominant verdict: identical
+            # arithmetic, two fewer calls per frame.
+            port = (
+                self.line_port
+                if direction is Direction.EDGE_TO_LINE
+                else self.edge_port
             )
+            if deliver_s is None:
+                port.send_delayed(packet, TRANSCEIVER_LATENCY_S)
+            elif port.coalesce and port._peer is not None:
+                port._reserve_tx(packet, deliver_s + TRANSCEIVER_LATENCY_S)
+            else:
+                port.send_at(packet, deliver_s + TRANSCEIVER_LATENCY_S)
+        elif verdict is Verdict.REFLECT:
+            self._egress(self._egress_port(direction.reverse), packet, deliver_s)
         elif verdict is Verdict.TO_CPU:
             self.punted_to_cpu.append(packet)
             # The embedded CPU's service chain may answer (§4.1's
             # "self-contained microservice node"); replies leave through
             # the interface the packet arrived on.
-            self.sim.schedule(
-                CONTROL_PLANE_LATENCY_S, self._run_services, packet, direction
+            at = (
+                self.sim.now if deliver_s is None else deliver_s
+            ) + CONTROL_PLANE_LATENCY_S
+            self.sim.schedule_at(
+                max(at, self.sim.now), self._run_services, packet, direction
             )
         else:  # DROP
             self.verdict_drops.count(packet.wire_len)
         for extra, extra_direction in emitted:
-            self.sim.schedule(
-                TRANSCEIVER_LATENCY_S, self._forward, extra, extra_direction
-            )
+            self._egress(self._egress_port(extra_direction), extra, deliver_s)
+
+    def _egress(self, port: Port, packet: Packet, deliver_s: float | None) -> None:
+        if deliver_s is None:
+            port.send_delayed(packet, TRANSCEIVER_LATENCY_S)
+        else:
+            port.send_at(packet, deliver_s + TRANSCEIVER_LATENCY_S)
 
     def _run_services(self, packet: Packet, direction: Direction) -> None:
         reply = self.services.dispatch(packet, direction)
@@ -252,7 +462,9 @@ class FlexSFPModule:
     # ------------------------------------------------------------------
     # Control plane plumbing
     # ------------------------------------------------------------------
-    def _to_control_plane(self, packet: Packet, reply_port: Port) -> None:
+    def _to_control_plane(
+        self, packet: Packet, reply_port: Port, at_s: float | None = None
+    ) -> None:
         reply = self.control_plane.handle_frame(packet)
         if reply is None:
             return
@@ -262,7 +474,14 @@ class FlexSFPModule:
 
         response = mgmt_frame(reply, self.auth_key, self.mgmt_mac, requester)
         self.arbiter.merge_from_cpu(response)
-        self.sim.schedule(CONTROL_PLANE_LATENCY_S, reply_port.send, response)
+        if at_s is None:
+            self.sim.schedule(CONTROL_PLANE_LATENCY_S, reply_port.send, response)
+        else:
+            when = at_s + CONTROL_PLANE_LATENCY_S
+            now = self.sim.now
+            self.sim.schedule_at(
+                when if when > now else now, reply_port.send, response
+            )
 
     # ------------------------------------------------------------------
     # Reprogramming / reboot
@@ -304,8 +523,17 @@ class FlexSFPModule:
         self.degraded = False
         self.control_plane.revive()  # the softcore restarts with the fabric
         self.app = new_app
+        if self.flow_cache is not None:
+            # Recipes replay against the application instance; a reboot may
+            # swap it, so every cached decision is stale.
+            self.flow_cache.invalidate()
         self.ppe = PacketProcessingEngine(
-            self.sim, new_app, bitstream.timing, device_id=self.device_id
+            self.sim,
+            new_app,
+            bitstream.timing,
+            device_id=self.device_id,
+            batch_size=self.batch_size,
+            flow_cache=self.flow_cache,
         )
         self.reboots += 1
         self._down = True

@@ -8,6 +8,25 @@ applications inside the discrete-event simulation as a single server whose
 service time comes from the synthesized :class:`TimingSpec`, so overload,
 queueing, and loss emerge from the same arithmetic the paper uses for its
 line-rate claims.
+
+Two optional execution modes accelerate large simulations without changing
+their results:
+
+* **Fast path** (``flow_cache``): applications that expose a
+  :meth:`PPEApplication.flow_key` / :meth:`PPEApplication.decide` pair get
+  an exact-match LRU flow cache in front of ``process``.  Repeat packets
+  of a decided flow replay the cached :class:`FlowRecipe` instead of
+  re-running the program; control-plane table writes invalidate entries
+  via the registry generation counter.
+* **Batching** (``batch_size > 1``): the engine drains up to K queued
+  frames per scheduled event instead of one, amortizing heap and callback
+  overhead.  Service times are still accumulated per frame on a
+  :class:`~repro.sim.engine.ServiceTimeline`, so per-frame start/finish
+  timestamps — and therefore queueing, overload, and latency statistics —
+  are identical to the event-per-frame execution.  Frames are *processed*
+  at the batch boundary and *delivered* once per batch, so downstream
+  egress times may shift by up to one batch window; single-frame batches
+  are exactly the unbatched schedule.
 """
 
 from __future__ import annotations
@@ -15,7 +34,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import deque
 from enum import Enum
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from ..errors import SimulationError
 from ..fpga.timing import TimingSpec
@@ -23,8 +42,9 @@ from ..packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - break the hls<->core import cycle
     from ..hls.ir import PipelineSpec
-from ..sim.engine import Simulator
+from ..sim.engine import ServiceTimeline, Simulator
 from ..sim.stats import Counter, Histogram
+from .flowcache import FlowCache, FlowRecipe
 from .tables import TableRegistry
 
 
@@ -33,6 +53,10 @@ class Direction(Enum):
 
     EDGE_TO_LINE = "edge->line"  # host/switch toward the fiber
     LINE_TO_EDGE = "line->edge"  # fiber toward the host/switch
+
+    # Members are singletons; identity hashing skips the Python-level
+    # Enum.__hash__ on every per-frame dict/key operation.
+    __hash__ = object.__hash__
 
     @property
     def reverse(self) -> "Direction":
@@ -50,6 +74,8 @@ class Verdict(Enum):
     DROP = "drop"
     REFLECT = "reflect"  # send back out the ingress interface
     TO_CPU = "to_cpu"  # hand to the embedded control plane
+
+    __hash__ = object.__hash__
 
 
 class PPEContext:
@@ -90,6 +116,10 @@ class PPEApplication(ABC):
     Subclasses populate ``self.tables`` with their match-action state (the
     control plane reads/writes through that registry) and keep functional
     statistics in ``self.counters``.
+
+    Applications whose verdict is a pure function of a per-flow key may
+    additionally implement :meth:`flow_key` and :meth:`decide` to opt into
+    the flow-cache fast path; the default implementations opt out.
     """
 
     name: str = "app"
@@ -112,6 +142,30 @@ class PPEApplication(ABC):
     def process(self, packet: Packet, ctx: PPEContext) -> Verdict:
         """Process one packet (mutating it in place); return a verdict."""
 
+    # ------------------------------------------------------------------
+    # Fast-path hooks (flow cache)
+    # ------------------------------------------------------------------
+    def flow_key(self, packet: Packet) -> Hashable | None:
+        """Cache key identifying this packet's flow, or None to opt out.
+
+        Return a key only when :meth:`decide` can express the packet's
+        entire processing as a replayable :class:`FlowRecipe` — i.e. the
+        verdict and mutations depend on nothing but the key and table
+        state.  The engine adds the traversal direction to the key, so a
+        key need not encode it.
+        """
+        return None
+
+    def decide(self, packet: Packet, ctx: PPEContext) -> FlowRecipe | None:
+        """The packet's processing as a replayable recipe (slow path).
+
+        Only called for packets whose :meth:`flow_key` returned a key.
+        Returning None falls back to :meth:`process` uncached.  The
+        recipe, when returned, is applied to the packet in place of
+        ``process`` and cached for subsequent packets of the flow.
+        """
+        return None
+
     def config(self) -> dict:
         """Serializable constructor parameters (stored in bitstreams)."""
         return {}
@@ -122,6 +176,10 @@ class PPEApplication(ABC):
 
 DoneCallback = Callable[[Packet, Verdict, list[tuple[Packet, Direction]]], None]
 
+# FIFO entry:
+# (packet, wire size, direction, done callback, enqueue ns, arrival seconds).
+_QueuedFrame = "tuple[Packet, int, Direction, DoneCallback, int, float]"
+
 
 class PacketProcessingEngine:
     """Queueing server that executes an application at synthesized speed.
@@ -131,6 +189,9 @@ class PacketProcessingEngine:
     the engine is busy wait in a bounded ingress FIFO; overflow is counted
     and dropped, which is exactly how the Two-Way-Core shell falls off
     line rate when it is not clocked up (Figure 1 discussion).
+
+    ``batch_size`` > 1 enables batched execution and ``flow_cache`` the
+    fast path (see the module docstring for both contracts).
     """
 
     def __init__(
@@ -140,50 +201,197 @@ class PacketProcessingEngine:
         timing: TimingSpec,
         queue_bytes: int = 32 * 1024,
         device_id: int = 0,
+        batch_size: int = 1,
+        flow_cache: FlowCache | None = None,
     ) -> None:
+        if batch_size < 1:
+            raise SimulationError(f"batch size must be >= 1, got {batch_size}")
         self.sim = sim
         self.app = app
         self.timing = timing
         self.queue_bytes = queue_bytes
         self.device_id = device_id
-        self._fifo: deque[tuple[Packet, Direction, DoneCallback]] = deque()
+        self.batch_size = batch_size
+        self.flow_cache = flow_cache
+        self._fifo: deque = deque()
         self._fifo_bytes = 0
         self._busy = False
+        self._timeline = ServiceTimeline()
+        # Batched mode: frames reserve their service slot at submit time;
+        # processing is grouped into one event per up-to-batch_size frames.
+        # _arrivals mirrors (enqueue_ns, size) of reserved-but-unprocessed
+        # frames for exact queue-depth reconstruction.
+        self._group: list = []
+        self._group_event = None
+        self._arrivals: deque = deque()
+        self._arrivals_bytes = 0
+        # Per-size service-time memo: frame_service_time is a pure function
+        # of the frame length for a fixed TimingSpec.
+        self._service_times: dict[int, float] = {}
+        # While True (inside a batched-delivery flush bracketed by
+        # flush_begin/flush_end) submits skip per-frame group-event
+        # re-arming; flush_end arms one event for the open group.
+        self._defer_commit = False
+        # Reentrancy guard: an application that writes its own tables
+        # *during* processing (telemetry, policers) fires the pre-mutation
+        # drain hook from inside _process_due; the nested call must no-op.
+        self._processing = False
+        if batch_size > 1:
+            # Control-plane writes land between packets.  Frames whose
+            # virtual service already finished but that still sit in a
+            # pending batch must be decided against the pre-write table
+            # state, exactly as the event-per-frame engine would have.
+            app.tables.on_before_mutate = self._process_due
+        # Pipeline fill latency is fixed per deployed app; computing it per
+        # packet would rebuild the whole PipelineSpec each time.
+        self.pipeline_latency_s = (
+            app.pipeline_spec().pipeline_depth / timing.clock_hz
+        )
         self.processed = Counter("ppe.processed")
         self.overload_drops = Counter("ppe.overload_drops")
+        self.fastpath_hits = Counter("ppe.fastpath_hits")
         self.verdict_counts: dict[Verdict, int] = {v: 0 for v in Verdict}
         self.latency_ns = Histogram.exponential(start=50.0, factor=2.0, count=16)
 
-    @property
-    def pipeline_latency_s(self) -> float:
-        """Fixed pipeline fill latency (depth cycles at the PPE clock)."""
-        depth = self.app.pipeline_spec().pipeline_depth
-        return depth / self.timing.clock_hz
+    def submit(
+        self,
+        packet: Packet,
+        direction: Direction,
+        done: DoneCallback,
+        at_s: float | None = None,
+        size: int | None = None,
+    ) -> bool:
+        """Offer a packet to the engine; False when the ingress FIFO drops.
 
-    def submit(self, packet: Packet, direction: Direction, done: DoneCallback) -> bool:
-        """Offer a packet to the engine; False when the ingress FIFO drops."""
-        size = packet.wire_len
+        ``at_s`` is the frame's (virtual) arrival time for batch-delivered
+        ingress — it may lead ``sim.now`` by up to one delivery batch and
+        must be non-decreasing across calls; omitted it defaults to now.
+        Only batched engines (``batch_size > 1``) may be handed future
+        arrivals: their reservations use per-frame arrival times.
+        ``size`` is an optional precomputed ``packet.wire_len``.
+        """
+        at = self.sim.now if at_s is None else at_s
+        if size is None:
+            size = packet.wire_len
+        if self.batch_size > 1:
+            return self._submit_batched(packet, size, direction, done, at)
         if self._fifo_bytes + size > self.queue_bytes:
             self.overload_drops.count(size)
             return False
-        packet.meta.setdefault("ppe_enqueue_ns", int(self.sim.now * 1e9))
-        self._fifo.append((packet, direction, done))
+        enqueue_ns = int(at * 1e9)
+        # Stamp per-engine (overwrite, not setdefault): a packet traversing
+        # two modules must not keep the first engine's timestamp, or the
+        # second engine's latency histogram measures both residencies.
+        packet.meta["ppe_enqueue_ns"] = enqueue_ns
+        self._fifo.append((packet, size, direction, done, enqueue_ns, at))
         self._fifo_bytes += size
         if not self._busy:
             self._start_next()
         return True
+
+    def _submit_batched(
+        self,
+        packet: Packet,
+        size: int,
+        direction: Direction,
+        done: DoneCallback,
+        at: float,
+    ) -> bool:
+        """Batched admission: reserve the service slot at the arrival time.
+
+        Reserving immediately (``start = max(arrival, free_at)`` — the
+        float sequence of the sequential schedule) keeps the occupancy
+        check exactly the event-per-frame "arrived but not yet started"
+        set even when batch-delivered ingress submits several frames per
+        real event.  Processing is deferred to a group event re-armed at
+        the newest frame's finish and closed at ``batch_size`` frames.
+        """
+        # Inlined ServiceTimeline.drain/reserve (hot path): identical float
+        # operation order, so reservations are bit-exact vs the helpers.
+        timeline = self._timeline
+        reservations = timeline._pending
+        pending_bytes = timeline.pending_bytes
+        while reservations and reservations[0][0] <= at:
+            pending_bytes -= reservations.popleft()[1]
+        if pending_bytes + size > self.queue_bytes:
+            timeline.pending_bytes = pending_bytes
+            self.overload_drops.count(size)
+            return False
+        enqueue_ns = int(at * 1e9)
+        packet.meta["ppe_enqueue_ns"] = enqueue_ns
+        service = self._service_times.get(size)
+        if service is None:
+            service = self._service_times[size] = self.timing.frame_service_time(
+                size
+            )
+        free_at = timeline.free_at
+        start = at if at > free_at else free_at
+        finish = start + service
+        timeline.free_at = finish
+        reservations.append((start, size))
+        timeline.pending_bytes = pending_bytes + size
+        frame = (packet, size, direction, done, enqueue_ns, finish)
+        # The arrivals mirror shares the frame tuples (enqueue at [4],
+        # size at [1]) so admission costs one allocation, not two.
+        self._arrivals.append(frame)
+        self._arrivals_bytes += size
+        group = self._group
+        group.append(frame)
+        event = self._group_event
+        if event is not None:
+            event.cancel()
+            self._group_event = None
+        if len(group) >= self.batch_size:
+            self._group = []
+            now = self.sim.now
+            self.sim.schedule_at(
+                finish if finish > now else now, self._process_due
+            )
+        elif not self._defer_commit:
+            now = self.sim.now
+            self._group_event = self.sim.schedule_at(
+                finish if finish > now else now, self._process_due_event
+            )
+        return True
+
+    def flush_begin(self) -> None:
+        """Enter a batched-delivery flush: defer group-event arming."""
+        self._defer_commit = True
+
+    def flush_end(self) -> None:
+        """Leave a flush: arm one group event for the open remainder."""
+        self._defer_commit = False
+        group = self._group
+        if group and self._group_event is None:
+            finish = group[-1][5]
+            now = self.sim.now
+            self._group_event = self.sim.schedule_at(
+                finish if finish > now else now, self._process_due_event
+            )
 
     def _start_next(self) -> None:
         if not self._fifo:
             self._busy = False
             return
         self._busy = True
-        packet, direction, done = self._fifo.popleft()
-        self._fifo_bytes -= packet.wire_len
-        service = self.timing.frame_service_time(packet.wire_len)
-        self.sim.schedule(service, self._finish, packet, direction, done)
+        packet, size, direction, done, enqueue_ns, _at = self._fifo.popleft()
+        self._fifo_bytes -= size
+        service = self.timing.frame_service_time(size)
+        self.sim.schedule(
+            service, self._finish, packet, size, direction, done, enqueue_ns
+        )
 
-    def _finish(self, packet: Packet, direction: Direction, done: DoneCallback) -> None:
+    # ------------------------------------------------------------------
+    # Event-per-frame execution
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        packet: Packet,
+        size: int,
+        direction: Direction,
+        done: DoneCallback,
+        enqueue_ns: int,
+    ) -> None:
         # The frame has streamed through; apply the functional behaviour,
         # then deliver after the pipeline fill latency.
         ctx = PPEContext(
@@ -192,15 +400,7 @@ class PacketProcessingEngine:
             device_id=self.device_id,
             queue_depth=self._fifo_bytes,
         )
-        verdict = self.app.process(packet, ctx)
-        if not isinstance(verdict, Verdict):
-            raise SimulationError(
-                f"application {self.app.name!r} returned {verdict!r} "
-                "instead of a Verdict"
-            )
-        self.processed.count(packet.wire_len)
-        self.verdict_counts[verdict] += 1
-        enqueue_ns = packet.meta.get("ppe_enqueue_ns", int(self.sim.now * 1e9))
+        verdict = self._apply(packet, size, direction, ctx)
         self.sim.schedule(
             self.pipeline_latency_s,
             self._deliver,
@@ -223,10 +423,215 @@ class PacketProcessingEngine:
         self.latency_ns.add(int(self.sim.now * 1e9) - enqueue_ns)
         done(packet, verdict, emitted)
 
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def _process_due_event(self) -> None:
+        self._group_event = None
+        self._process_due()
+
+    def _process_due(self) -> None:
+        """Process every reserved frame whose virtual service has finished.
+
+        Finish times are strictly increasing across submits (``start =
+        max(arrival, free_at)``, service > 0), so the due set is always a
+        prefix of the arrival queue — batch events, open-group events and
+        the pre-mutation table hook all drain through this one method.
+        The hook call is what keeps control-plane writes atomic *between
+        packets*: a write landing mid-batch first forces every frame whose
+        virtual decision time already passed to be decided against the
+        pre-write table state, exactly as the event-per-frame engine does.
+        An event that fires after an earlier drain already consumed its
+        frames is a no-op.
+        """
+        if self._processing:
+            # An application writing its own tables mid-processing fired
+            # the drain hook reentrantly; the outer loop is the drain.
+            return
+        arrivals = self._arrivals
+        now = self.sim.now
+        if not arrivals or arrivals[0][5] > now:
+            return
+        self._processing = True
+        try:
+            self._timeline.drain(now)
+            # Reconstruct each frame's queue depth as the event-per-frame
+            # execution would have seen it at that frame's finish time:
+            # every arrival after it that is enqueued no later than the
+            # finish.  Arrivals are submit-ordered (non-decreasing enqueue
+            # time), so the "not yet arrived" entries — reservations
+            # delivered early by a batched flush — form a contiguous tail
+            # of the deque at most one flush long; only that tail is
+            # walked, keeping the reconstruction O(batch) rather than
+            # O(queue depth).
+            first_finish_ns = int(arrivals[0][5] * 1e9)
+            future: list = []
+            future_bytes = 0
+            for entry in reversed(arrivals):
+                if entry[4] <= first_finish_ns:
+                    break
+                future.append(entry)
+                future_bytes += entry[1]
+            remaining_bytes = self._arrivals_bytes
+            pipeline_latency_s = self.pipeline_latency_s
+            apply = self._apply_batched
+            deliveries: list[
+                tuple[Packet, Verdict, list, DoneCallback, int, float]
+            ] = []
+            append = deliveries.append
+            while arrivals and arrivals[0][5] <= now:
+                packet, size, direction, done, enqueue_ns, finish = (
+                    arrivals.popleft()
+                )
+                remaining_bytes -= size
+                finish_ns = int(finish * 1e9)
+                # Drop matured entries — including this frame's own, and
+                # those of already-processed frames — so ``future`` holds
+                # exactly the arrivals still in flight at this finish.
+                while future and future[-1][4] <= finish_ns:
+                    future_bytes -= future[-1][1]
+                    future.pop()
+                verdict, emitted = apply(
+                    packet, size, direction, finish_ns,
+                    remaining_bytes - future_bytes,
+                )
+                append(
+                    (packet, verdict, emitted, done, enqueue_ns,
+                     finish + pipeline_latency_s)
+                )
+            self._arrivals_bytes = remaining_bytes
+            group = self._group
+            if group and group[0][5] <= now:
+                # The drain ate into the open group (pre-mutation hook or
+                # a late event); keep only the still-unprocessed suffix.
+                self._group = [frame for frame in group if frame[5] > now]
+            self.sim.schedule(
+                self.pipeline_latency_s, self._deliver_batch, deliveries
+            )
+        finally:
+            self._processing = False
+
+    def _deliver_batch(
+        self, deliveries: list[tuple[Packet, Verdict, list, DoneCallback, int, float]]
+    ) -> None:
+        # Done callbacks run at the batch tail but carry each frame's
+        # virtual deliver time (``finish + pipeline_latency`` — the exact
+        # float the event-per-frame schedule computes), so a batch-aware
+        # consumer can keep downstream timestamps identical via
+        # ``Port.send_at``.
+        latency_add = self.latency_ns.add
+        for packet, verdict, emitted, done, enqueue_ns, deliver_s in deliveries:
+            latency_add(int(deliver_s * 1e9) - enqueue_ns)
+            packet.meta["ppe_deliver_s"] = deliver_s
+            done(packet, verdict, emitted)
+
+    # ------------------------------------------------------------------
+    # Functional application (fast path + slow path)
+    # ------------------------------------------------------------------
+    def _apply(
+        self, packet: Packet, size: int, direction: Direction, ctx: PPEContext
+    ) -> Verdict:
+        """Run the application on one frame, via the flow cache if possible."""
+        app = self.app
+        cache = self.flow_cache
+        verdict: Verdict | None = None
+        if cache is not None:
+            key = app.flow_key(packet)
+            if key is not None:
+                generation = app.tables.generation()
+                recipe = cache.lookup((direction, key), generation)
+                if recipe is not None:
+                    self.fastpath_hits.count(size)
+                    verdict = recipe.apply(packet, app)
+                else:
+                    recipe = app.decide(packet, ctx)
+                    if recipe is not None:
+                        cache.insert((direction, key), recipe, generation)
+                        verdict = recipe.apply(packet, app)
+        if verdict is None:
+            verdict = app.process(packet, ctx)
+            if not isinstance(verdict, Verdict):
+                raise SimulationError(
+                    f"application {app.name!r} returned {verdict!r} "
+                    "instead of a Verdict"
+                )
+        # Counted post-process: applications may change the frame length.
+        self.processed.count(packet.wire_len)
+        self.verdict_counts[verdict] += 1
+        return verdict
+
+    def _apply_batched(
+        self,
+        packet: Packet,
+        size: int,
+        direction: Direction,
+        finish_ns: int,
+        queue_depth: int,
+    ) -> tuple[Verdict, list[tuple[Packet, Direction]] | tuple]:
+        """Batched-mode :meth:`_apply` with a lazily built context.
+
+        Recipe replays never see the context (the application is not
+        entered), so cache hits skip building it entirely and report an
+        empty emitted tuple; recipes only set header fields, so the
+        precomputed ``size`` is still the frame's wire length for the
+        ``processed`` counter.  Slow-path frames get the identical
+        ``PPEContext`` the event-per-frame execution constructs.
+        """
+        app = self.app
+        cache = self.flow_cache
+        if cache is not None:
+            key = app.flow_key(packet)
+            if key is not None:
+                generation = app.tables.generation()
+                recipe = cache.lookup((direction, key), generation)
+                if recipe is not None:
+                    hits = self.fastpath_hits
+                    hits.packets += 1
+                    hits.bytes += size
+                    verdict = recipe.apply(packet, app, size)
+                    processed = self.processed
+                    processed.packets += 1
+                    processed.bytes += size
+                    self.verdict_counts[verdict] += 1
+                    return verdict, ()
+                ctx = PPEContext(finish_ns, direction, self.device_id, queue_depth)
+                recipe = app.decide(packet, ctx)
+                if recipe is not None:
+                    cache.insert((direction, key), recipe, generation)
+                    verdict = recipe.apply(packet, app, size)
+                    self.processed.count(size)
+                    self.verdict_counts[verdict] += 1
+                    return verdict, ctx.emitted
+                verdict = app.process(packet, ctx)
+                if not isinstance(verdict, Verdict):
+                    raise SimulationError(
+                        f"application {app.name!r} returned {verdict!r} "
+                        "instead of a Verdict"
+                    )
+                self.processed.count(packet.wire_len)
+                self.verdict_counts[verdict] += 1
+                return verdict, ctx.emitted
+        ctx = PPEContext(finish_ns, direction, self.device_id, queue_depth)
+        verdict = app.process(packet, ctx)
+        if not isinstance(verdict, Verdict):
+            raise SimulationError(
+                f"application {app.name!r} returned {verdict!r} "
+                "instead of a Verdict"
+            )
+        self.processed.count(packet.wire_len)
+        self.verdict_counts[verdict] += 1
+        return verdict, ctx.emitted
+
     def stats(self) -> dict[str, object]:
-        return {
+        stats: dict[str, object] = {
             "processed": self.processed.snapshot(),
             "overload_drops": self.overload_drops.snapshot(),
             "verdicts": {v.value: n for v, n in self.verdict_counts.items()},
             "latency_ns": self.latency_ns.snapshot(),
         }
+        if self.flow_cache is not None:
+            stats["flow_cache"] = self.flow_cache.stats()
+            stats["fastpath_hits"] = self.fastpath_hits.snapshot()
+        if self.batch_size > 1:
+            stats["batch_size"] = self.batch_size
+        return stats

@@ -31,6 +31,27 @@ class Table(Generic[K, V]):
         self.generation = 0
         self.hits = 0
         self.misses = 0
+        self._on_mutate: Any = None
+        self._before_mutate: Any = None
+
+    def _bump(self) -> None:
+        self.generation += 1
+        if self._on_mutate is not None:
+            self._on_mutate()
+
+    def _pre_mutate(self) -> None:
+        """Fire the pre-mutation hook (batched PPE drain point).
+
+        "Atomic, runtime updates" happen *between* packets.  In the batched
+        engine, frames whose virtual service already finished may still be
+        sitting unprocessed in the current batch; this hook lets the engine
+        drain them against the pre-write table state, so a control-plane
+        write never time-travels into decisions that virtually preceded it.
+        Fires before any state change — a mutator that subsequently raises
+        has merely drained early, which is always safe.
+        """
+        if self._before_mutate is not None:
+            self._before_mutate()
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -72,6 +93,7 @@ class ExactTable(Table[K, V]):
 
     def insert(self, key: K, value: V, replace: bool = True) -> None:
         """Add or update an entry; enforces capacity."""
+        self._pre_mutate()
         if key not in self._entries:
             if len(self._entries) >= self.capacity:
                 raise TableError(
@@ -80,28 +102,30 @@ class ExactTable(Table[K, V]):
         elif not replace:
             raise TableError(f"duplicate key in table {self.name!r}: {key!r}")
         self._entries[key] = value
-        self.generation += 1
+        self._bump()
 
     def delete(self, key: K) -> None:
         """Remove an entry; missing keys raise."""
+        self._pre_mutate()
         try:
             del self._entries[key]
         except KeyError:
             raise TableError(f"no such key in table {self.name!r}: {key!r}") from None
-        self.generation += 1
+        self._bump()
 
     def lookup(self, key: K) -> V | None:
         return self._record(self._entries.get(key))
 
     def atomic_replace(self, entries: dict[K, V]) -> None:
         """Swap the whole table contents in one generation step."""
+        self._pre_mutate()
         if len(entries) > self.capacity:
             raise TableError(
                 f"replacement set ({len(entries)}) exceeds capacity "
                 f"({self.capacity}) of table {self.name!r}"
             )
         self._entries = dict(entries)
-        self.generation += 1
+        self._bump()
 
     def items(self) -> Iterator[tuple[K, V]]:
         return iter(list(self._entries.items()))
@@ -136,6 +160,7 @@ class LPMTable(Table[int, V]):
 
     def insert(self, prefix: int, prefix_len: int, value: V) -> None:
         """Insert ``prefix/prefix_len -> value``."""
+        self._pre_mutate()
         mask = self._mask(prefix_len)
         bucket = self._by_len.setdefault(prefix_len, {})
         key = prefix & mask
@@ -144,9 +169,10 @@ class LPMTable(Table[int, V]):
                 raise TableError(f"table {self.name!r} full ({self.capacity})")
             self._size += 1
         bucket[key] = value
-        self.generation += 1
+        self._bump()
 
     def delete(self, prefix: int, prefix_len: int) -> None:
+        self._pre_mutate()
         mask = self._mask(prefix_len)
         bucket = self._by_len.get(prefix_len, {})
         key = prefix & mask
@@ -157,7 +183,7 @@ class LPMTable(Table[int, V]):
             )
         del bucket[key]
         self._size -= 1
-        self.generation += 1
+        self._bump()
 
     def lookup(self, key: int) -> V | None:
         for prefix_len in sorted(self._by_len, reverse=True):
@@ -203,6 +229,7 @@ class TernaryTable(Table[int, V]):
         return len(self._entries)
 
     def insert(self, value: int, mask: int, priority: int, action: V) -> None:
+        self._pre_mutate()
         if len(self._entries) >= self.capacity:
             raise TableError(f"table {self.name!r} full ({self.capacity})")
         entry = TernaryEntry(value, mask, priority, action)
@@ -213,16 +240,18 @@ class TernaryTable(Table[int, V]):
                 index = i
                 break
         self._entries.insert(index, entry)
-        self.generation += 1
+        self._bump()
 
     def clear(self) -> None:
+        self._pre_mutate()
         self._entries.clear()
-        self.generation += 1
+        self._bump()
 
     def atomic_replace(
         self, entries: list[tuple[int, int, int, V]]
     ) -> None:
         """Replace all rules in one step (rule-set push)."""
+        self._pre_mutate()
         if len(entries) > self.capacity:
             raise TableError(
                 f"replacement set ({len(entries)}) exceeds capacity "
@@ -233,7 +262,7 @@ class TernaryTable(Table[int, V]):
             staged.append(TernaryEntry(value, mask, priority, action))
         staged.sort(key=lambda e: -e.priority)
         self._entries = staged
-        self.generation += 1
+        self._bump()
 
     def lookup(self, key: int) -> V | None:
         for entry in self._entries:
@@ -250,11 +279,25 @@ class TableRegistry:
 
     def __init__(self) -> None:
         self._tables: dict[str, Table[Any, Any]] = {}
+        self._generation = 0
+        self.on_before_mutate: Any = None
 
     def register(self, table: Table[Any, Any]) -> None:
         if table.name in self._tables:
             raise TableError(f"duplicate table name {table.name!r}")
         self._tables[table.name] = table
+        # Keep the registry-wide generation a running sum so the per-packet
+        # flow-cache validity check is O(1) rather than a sum over tables.
+        self._generation += table.generation
+        table._on_mutate = self._count_mutation
+        table._before_mutate = self._fire_before_mutate
+
+    def _count_mutation(self) -> None:
+        self._generation += 1
+
+    def _fire_before_mutate(self) -> None:
+        if self.on_before_mutate is not None:
+            self.on_before_mutate()
 
     def get(self, name: str) -> Table[Any, Any]:
         try:
@@ -266,6 +309,15 @@ class TableRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._tables)
+
+    def generation(self) -> int:
+        """Sum of all table generations — the flow-cache validity stamp.
+
+        Any control-plane mutation of any registered table bumps this,
+        which conservatively invalidates every cached fast-path decision
+        (see :class:`repro.core.flowcache.FlowCache`).
+        """
+        return self._generation
 
     def stats(self) -> dict[str, dict[str, int]]:
         return {name: table.stats() for name, table in self._tables.items()}

@@ -194,6 +194,8 @@ def run_gauntlet(
     traffic_bps: float = 50e6,
     frame_len: int = 512,
     probe_interval_s: float = PROBE_INTERVAL_S,
+    fastpath: bool | None = None,
+    batch_size: int | None = None,
 ) -> GauntletResult:
     """Run one chaos gauntlet and return its measurements.
 
@@ -227,7 +229,14 @@ def run_gauntlet(
             configure=lambda app: app.add_mapping("10.0.0.1", "198.51.100.1"),
         ),
     )
-    retrofit = apply_retrofit(sim, switch, retrofit_plan, auth_key=KEY)
+    retrofit = apply_retrofit(
+        sim,
+        switch,
+        retrofit_plan,
+        auth_key=KEY,
+        fastpath=fastpath,
+        batch_size=batch_size,
+    )
     module = retrofit.module_at(1)
 
     controller = FleetController(

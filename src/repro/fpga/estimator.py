@@ -172,6 +172,31 @@ def ternary_table(entries: int, key_bits: int, value_bits: int) -> ResourceVecto
     )
 
 
+def flow_cache(
+    entries: int,
+    key_bits: int = 104,
+    recipe_bits: int = 128,
+) -> ResourceVector:
+    """Exact-match flow cache in front of the PPE (the fast path).
+
+    Storage is one valid bit + key remainder + cached recipe (verdict,
+    rewrite words, generation stamp) per entry in LSRAM, with an LRU
+    controller and the usual CRC index hash.  Sits beside the pipeline,
+    not in it — it adds area, never latency, which is why
+    ``PipelineSpec.pipeline_depth`` excludes it.
+    """
+    if entries <= 0:
+        raise ResourceError("flow cache needs at least one entry")
+    entry_bits = _align(1 + key_bits + recipe_bits, 4)
+    address_bits = max(1, math.ceil(math.log2(entries)))
+    controller = ResourceVector(
+        lut4=170 * address_bits + 500,  # lookup + LRU victim selection
+        ff=190 * address_bits + 300,
+    )
+    storage = ResourceVector(lsram=sram_blocks_for_table(entries, entry_bits))
+    return controller + storage + crc_hash(key_bits)
+
+
 def action_unit(
     rewrite_bits: int, datapath_bits: int = REFERENCE_WIDTH_BITS
 ) -> ResourceVector:

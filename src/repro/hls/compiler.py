@@ -127,6 +127,12 @@ def price_stage(stage: Stage, datapath_bits: int) -> ResourceVector:
         return estimator.meter_bank(stage.param("meters"))
     if kind is StageKind.TIMESTAMP:
         return estimator.timestamp_unit()
+    if kind is StageKind.FLOW_CACHE:
+        return estimator.flow_cache(
+            stage.param("entries"),
+            key_bits=int(params.get("key_bits", 104)),
+            recipe_bits=int(params.get("recipe_bits", 128)),
+        )
     raise CompileError(f"no pricing rule for stage kind {kind}")  # pragma: no cover
 
 
@@ -151,6 +157,7 @@ def compile_pipeline(
     app_params: dict | None = None,
     payload_kib: int = 64,
     strict: bool = True,
+    flow_cache_entries: int | None = None,
 ) -> BuildResult:
     """Build a pipeline into a shell on a device.
 
@@ -160,7 +167,11 @@ def compile_pipeline(
     ``strict`` (default), resource overflow or a timing miss raises; with
     ``strict=False`` the report records the failure — useful for
     feasibility sweeps that *want* to see where designs stop fitting.
+    ``flow_cache_entries`` adds a fast-path flow cache beside the pipeline
+    (priced in LSRAM, zero added pipeline depth).
     """
+    if flow_cache_entries is not None:
+        spec = _with_flow_cache(spec, flow_cache_entries)
     if clock_hz is None:
         clock_hz = shell.standard_ppe_clock_hz()
     if clock_hz > device.max_fabric_mhz * 1e6:
@@ -222,12 +233,33 @@ def compile_pipeline(
     return BuildResult(report=report, bitstream=bitstream)
 
 
+def _with_flow_cache(spec: PipelineSpec, entries: int) -> PipelineSpec:
+    """Copy of ``spec`` with a flow-cache stage set beside the parser."""
+    if entries <= 0:
+        raise CompileError("flow_cache_entries must be positive")
+    if any(s.kind is StageKind.FLOW_CACHE for s in spec.stages):
+        return spec
+    name = "fastpath_cache"
+    if any(s.name == name for s in spec.stages):  # pragma: no cover
+        name = "fastpath_cache_0"
+    cache = Stage(name, StageKind.FLOW_CACHE, {"entries": entries})
+    stages = list(spec.stages)
+    insert_at = next(
+        (i + 1 for i, s in enumerate(stages) if s.kind is StageKind.PARSER), 0
+    )
+    stages.insert(insert_at, cache)
+    return PipelineSpec(
+        name=spec.name, stages=stages, description=spec.description
+    )
+
+
 def compile_app(
     app,
     shell: ShellSpec,
     device: FPGADevice = MPF200T,
     clock_hz: float | None = None,
     strict: bool = True,
+    flow_cache_entries: int | None = None,
 ) -> BuildResult:
     """Convenience: build a :class:`PPEApplication` instance."""
     return compile_pipeline(
@@ -237,4 +269,5 @@ def compile_app(
         clock_hz=clock_hz,
         app_params=app.config(),
         strict=strict,
+        flow_cache_entries=flow_cache_entries,
     )

@@ -30,6 +30,7 @@ class StageKind(Enum):
     COUNTERS = "counters"
     METERS = "meters"
     TIMESTAMP = "timestamp"
+    FLOW_CACHE = "flow_cache"
 
 
 # Parameters each stage kind requires (validated at IR construction).
@@ -46,6 +47,7 @@ _REQUIRED_PARAMS: dict[StageKind, tuple[str, ...]] = {
     StageKind.COUNTERS: ("counters",),
     StageKind.METERS: ("meters",),
     StageKind.TIMESTAMP: (),
+    StageKind.FLOW_CACHE: ("entries",),
 }
 
 # Stage kinds that occupy a slot in the match-action chain (the paper's
@@ -105,8 +107,12 @@ class PipelineSpec:
 
     @property
     def pipeline_depth(self) -> int:
-        """Total registered stages (sets per-packet latency in cycles)."""
-        return len(self.stages)
+        """Total registered stages (sets per-packet latency in cycles).
+
+        The flow cache sits beside the pipeline (a lookup racing the first
+        stages), so it contributes area but no pipeline latency.
+        """
+        return sum(1 for s in self.stages if s.kind is not StageKind.FLOW_CACHE)
 
     def stages_of(self, kind: StageKind) -> list[Stage]:
         return [s for s in self.stages if s.kind is kind]

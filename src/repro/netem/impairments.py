@@ -134,7 +134,7 @@ class ImpairedPort(Port):
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver(self, packet: Packet, size: int | None = None) -> None:
         loss = self._loss_burst.effective(self.sim.now, self.loss_probability)
         if self.is_dark or self._rng.random() < loss:
             self.impairment_drops.count(packet.wire_len)

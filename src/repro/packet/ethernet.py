@@ -29,9 +29,7 @@ class Ethernet(Header):
         self.src = mac_to_int(src)
         self.ethertype = check_range("ethertype", ethertype, 16)
 
-    @property
-    def header_len(self) -> int:
-        return 14
+    header_len = 14  # fixed size: plain attribute, skips property dispatch
 
     @property
     def dst_mac(self) -> str:
@@ -84,9 +82,7 @@ class VLAN(Header):
         self.dei = check_range("dei", dei, 1)
         self.ethertype = check_range("ethertype", ethertype, 16)
 
-    @property
-    def header_len(self) -> int:
-        return 4
+    header_len = 4
 
     @property
     def tci(self) -> int:
@@ -125,9 +121,7 @@ class ARP(Header):
         self.target_mac = mac_to_int(target_mac)
         self.target_ip = ip_to_int(target_ip)
 
-    @property
-    def header_len(self) -> int:
-        return 28
+    header_len = 28
 
     def pack(self) -> bytes:
         return _ARP.pack(

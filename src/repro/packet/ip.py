@@ -169,9 +169,7 @@ class IPv6(Header):
         self.flow_label = check_range("flow_label", flow_label, 20)
         self.payload_length = check_range("payload_length", payload_length, 16)
 
-    @property
-    def header_len(self) -> int:
-        return 40
+    header_len = 40
 
     @property
     def src_ip(self) -> str:

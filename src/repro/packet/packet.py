@@ -76,30 +76,50 @@ class Packet:
                 return i
         raise SerializationError("header is not part of this packet")
 
+    # The shorthand header accessors inline the scan instead of calling
+    # ``get``: they run several times per simulated frame.
     @property
     def eth(self) -> Ethernet | None:
-        return self.get(Ethernet)
+        for header in self.headers:
+            if isinstance(header, Ethernet):
+                return header
+        return None
 
     @property
     def ipv4(self) -> IPv4 | None:
-        return self.get(IPv4)
+        for header in self.headers:
+            if isinstance(header, IPv4):
+                return header
+        return None
 
     @property
     def ipv6(self) -> IPv6 | None:
-        return self.get(IPv6)
+        for header in self.headers:
+            if isinstance(header, IPv6):
+                return header
+        return None
 
     @property
     def tcp(self) -> TCP | None:
-        return self.get(TCP)
+        for header in self.headers:
+            if isinstance(header, TCP):
+                return header
+        return None
 
     @property
     def udp(self) -> UDP | None:
-        return self.get(UDP)
+        for header in self.headers:
+            if isinstance(header, UDP):
+                return header
+        return None
 
     @property
     def wire_len(self) -> int:
         """Frame length in bytes as transmitted (without preamble/FCS)."""
-        return sum(h.header_len for h in self.headers) + len(self.payload)
+        total = len(self.payload)
+        for header in self.headers:
+            total += header.header_len
+        return total
 
     def __iter__(self) -> Iterator[Header]:
         return iter(self.headers)
@@ -125,7 +145,9 @@ class Packet:
 
     def copy(self) -> "Packet":
         """Deep-enough copy: headers are copied, payload bytes shared."""
-        clone = Packet([h.copy() for h in self.headers], self.payload)
+        clone = Packet.__new__(Packet)
+        clone.headers = [h.copy() for h in self.headers]
+        clone.payload = self.payload
         clone.meta = dict(self.meta)
         return clone
 

@@ -30,9 +30,7 @@ class UDP(Header):
         self.length = check_range("length", length, 16)
         self.checksum = check_range("checksum", checksum, 16)
 
-    @property
-    def header_len(self) -> int:
-        return 8
+    header_len = 8  # fixed size: plain attribute, skips property dispatch
 
     def pack(self) -> bytes:
         return _UDP.pack(self.sport, self.dport, self.length, self.checksum)
@@ -163,9 +161,7 @@ class ICMP(Header):
         self.identifier = check_range("identifier", identifier, 16)
         self.sequence = check_range("sequence", sequence, 16)
 
-    @property
-    def header_len(self) -> int:
-        return 8
+    header_len = 8
 
     def pack(self) -> bytes:
         return _ICMP.pack(

@@ -87,9 +87,7 @@ class VXLAN(Header):
     def __init__(self, vni: int = 0) -> None:
         self.vni = check_range("vni", vni, 24)
 
-    @property
-    def header_len(self) -> int:
-        return 8
+    header_len = 8
 
     def pack(self) -> bytes:
         return _VXLAN.pack(0x08, 0, 0, self.vni << 8)

@@ -10,6 +10,7 @@ for the simulated horizons used here (milliseconds to seconds).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable
 
 from ..errors import SimulationError
@@ -51,6 +52,11 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self.events_processed = 0
+        # Upper bound of the current run() window.  Batched components that
+        # replay several virtual times inside one event consult this so
+        # they never deliver work the event-per-frame execution would have
+        # left beyond the window.
+        self.horizon = float("inf")
 
     @property
     def now(self) -> float:
@@ -106,6 +112,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        self.horizon = float("inf") if until is None else until
         processed = 0
         try:
             while self._queue:
@@ -122,11 +129,58 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            self.horizon = float("inf")
         return self._now
 
     def pending(self) -> int:
         """Number of not-yet-cancelled queued events."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+
+class ServiceTimeline:
+    """Analytic busy clock for a single server processing frames in batches.
+
+    The event-per-frame pattern (schedule service completion, then schedule
+    the next start) costs one or two heap events per frame.  Batched
+    components instead *reserve* service slots on this timeline — the
+    arithmetic is identical to the sequential schedule (``start = max(now,
+    free_at)``, ``finish = start + service``, same float operations in the
+    same order), so per-frame start/finish timestamps are bit-identical to
+    the unbatched execution while only one real event fires per batch.
+
+    The timeline also tracks byte occupancy: a reserved frame's bytes stay
+    "queued" until its virtual start time passes, which keeps tail-drop /
+    overload decisions at intermediate arrival events identical to the
+    event-per-frame execution.  Call :meth:`drain` with the current
+    simulation time before reading :attr:`pending_bytes`.
+    """
+
+    __slots__ = ("free_at", "pending_bytes", "_pending")
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+        self.pending_bytes = 0
+        self._pending: deque[tuple[float, int]] = deque()
+
+    def reserve(self, now: float, service_s: float, size: int) -> tuple[float, float]:
+        """Reserve one service slot; returns ``(start, finish)`` times."""
+        start = now if now > self.free_at else self.free_at
+        finish = start + service_s
+        self.free_at = finish
+        self._pending.append((start, size))
+        self.pending_bytes += size
+        return start, finish
+
+    def drain(self, now: float) -> None:
+        """Release the bytes of every reservation whose start has passed."""
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            self.pending_bytes -= pending.popleft()[1]
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+        self.pending_bytes = 0
+        self._pending.clear()
 
 
 class PeriodicTask:

@@ -14,11 +14,13 @@ from typing import Callable
 
 from ..errors import SimulationError
 from ..packet import Packet
-from .engine import Simulator
+from .engine import ServiceTimeline, Simulator
 from .mac import serialization_time
 from .stats import Counter
 
 PacketHandler = Callable[["Port", Packet], None]
+# Batched receive: one call per delivery flush with [(packet, size, when)].
+BatchHandler = Callable[["Port", "list[tuple[Packet, int, float]]"], None]
 
 # Default propagation: 10 m of fiber at ~5 ns/m.
 DEFAULT_PROPAGATION_S = 50e-9
@@ -32,6 +34,26 @@ class Port:
     back-to-back at ``rate_bps`` and delivers them to the connected peer
     after the link's propagation delay.  Received frames are handed to the
     attached handler (set by the owning device via :meth:`attach`).
+
+    With ``coalesce=True`` (the batched fast path) the per-frame
+    tx-done/deliver event pair collapses into a single deliver event:
+    serialization start/finish times come from an analytic
+    :class:`~repro.sim.engine.ServiceTimeline` whose arithmetic matches the
+    event-per-frame schedule bit for bit, so delivery timestamps and
+    tail-drop decisions are unchanged.  The one behavioural approximation:
+    frames already reserved keep their delivery even if the link is
+    disconnected before their serialization would have started.
+
+    A receiver may additionally opt into *batched delivery* with
+    ``batch_rx=True``: a coalescing sender then accumulates reservations
+    and hands them over in a single flush event scheduled at the first
+    pending frame's delivery time, stamping each frame's exact (virtual)
+    delivery timestamp into ``packet.meta["link_deliver_s"]``.  Later
+    frames of the flush arrive *early* in event time but carry their true
+    wire arrival; a batch-aware handler (the FlexSFP module, a meter)
+    reads the stamp and reproduces the event-per-frame arithmetic bit for
+    bit.  Only attach batch_rx to ports whose handler understands the
+    stamp.
     """
 
     def __init__(
@@ -40,17 +62,30 @@ class Port:
         name: str,
         rate_bps: float = 10e9,
         queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        coalesce: bool = False,
+        batch_rx: bool = False,
     ) -> None:
         self.sim = sim
         self.name = name
         self.rate_bps = rate_bps
         self.queue_bytes = queue_bytes
+        self.coalesce = coalesce
+        self.batch_rx = batch_rx
+        self._pending_rx: list[tuple[Packet, int, float]] = []
+        # Optional bracketing callbacks a batch_rx owner may install: a
+        # sender's flush calls begin before and end after handing over the
+        # whole pending run, letting the receiver defer per-frame work
+        # (e.g. PPE group-event arming) to one commit per flush.
+        self.rx_flush_begin: Callable[[], None] | None = None
+        self.rx_flush_end: Callable[[], None] | None = None
+        self._batch_handler: BatchHandler | None = None
         self._peer: Port | None = None
         self._propagation_s = DEFAULT_PROPAGATION_S
         self._handler: PacketHandler | None = None
-        self._tx_fifo: deque[Packet] = deque()
+        self._tx_fifo: deque[tuple[Packet, int]] = deque()
         self._tx_fifo_bytes = 0
         self._tx_busy = False
+        self._timeline = ServiceTimeline()
         self.tx = Counter(f"{name}.tx")
         self.rx = Counter(f"{name}.rx")
         self.drops = Counter(f"{name}.drops")
@@ -61,6 +96,18 @@ class Port:
     def attach(self, handler: PacketHandler) -> None:
         """Register the owner's receive callback."""
         self._handler = handler
+
+    def attach_batch(self, handler: BatchHandler) -> None:
+        """Register a batched receive callback (``batch_rx`` ports only).
+
+        When set, a sender's flush hands the whole pending run over in one
+        call — ``handler(port, [(packet, size, when), ...])`` — instead of
+        stamping ``link_deliver_s`` and invoking the per-frame handler for
+        each frame.  Frames delivered individually (from non-coalescing
+        senders) still go through the per-frame handler, so owners should
+        attach both.
+        """
+        self._batch_handler = handler
 
     def connect(self, peer: "Port", propagation_s: float = DEFAULT_PROPAGATION_S) -> None:
         """Create a full-duplex link between this port and ``peer``."""
@@ -80,6 +127,7 @@ class Port:
             self._peer = None
         self._tx_fifo.clear()
         self._tx_fifo_bytes = 0
+        self._timeline.reset()
 
     @property
     def connected(self) -> bool:
@@ -92,6 +140,9 @@ class Port:
     @property
     def queue_depth_bytes(self) -> int:
         """Bytes currently waiting in the egress FIFO."""
+        if self.coalesce:
+            self._timeline.drain(self.sim.now)
+            return self._timeline.pending_bytes
         return self._tx_fifo_bytes
 
     @property
@@ -106,24 +157,174 @@ class Port:
         if self._peer is None:
             self.drops.count(packet.wire_len)
             return False
+        if self.coalesce:
+            return self._reserve_tx(packet, self.sim.now)
         size = packet.wire_len
         if self._tx_fifo_bytes + size > self.queue_bytes:
             self.drops.count(size)
             return False
-        self._tx_fifo.append(packet)
+        self._tx_fifo.append((packet, size))
         self._tx_fifo_bytes += size
         if not self._tx_busy:
             self._start_next_tx()
         return True
+
+    def send_delayed(self, packet: Packet, delay_s: float) -> None:
+        """Send ``packet`` after ``delay_s`` (e.g. a transceiver crossing).
+
+        Coalescing ports fold the delay into the serialization reservation
+        — no intermediate event; others schedule a plain deferred send.
+        """
+        if self.coalesce and self._peer is not None:
+            self._reserve_tx(packet, self.sim.now + delay_s)
+        else:
+            self.sim.schedule(delay_s, self.send, packet)
+
+    def send_at(self, packet: Packet, at_s: float, size: int | None = None) -> bool:
+        """Send ``packet`` at absolute (virtual) time ``at_s``.
+
+        On a coalescing port the reservation is made immediately with the
+        given arrival time — the foundation of burst traffic emission and
+        of batched PPE egress.  ``at_s`` may lag ``now`` by up to one
+        batch window (a batch tail replaying per-frame deliver times);
+        serialization arithmetic still uses the virtual arrival, only the
+        deliver *event* is clamped to now.  Non-coalescing ports fall
+        back to a scheduled plain send (and cannot report the eventual
+        tail-drop outcome, hence True).
+        """
+        if self.coalesce and self._peer is not None:
+            return self._reserve_tx(packet, at_s, size)
+        if at_s <= self.sim.now:
+            return self.send(packet)
+        self.sim.schedule(at_s - self.sim.now, self.send, packet)
+        return True
+
+    def _reserve_tx(
+        self, packet: Packet, arrival: float, size: int | None = None
+    ) -> bool:
+        """Coalesced transmit: one deliver event per frame.
+
+        The occupancy check drains the timeline to the frame's *arrival*
+        (which may differ from now for delayed/burst/virtual sends): that
+        is the state the event-per-frame execution would see when its
+        deferred ``send`` ran at the arrival time.  Callers must reserve
+        in non-decreasing arrival order, which every producer (serialized
+        sources, per-direction module egress) naturally does.
+        """
+        if size is None:
+            size = packet.wire_len
+        # Inlined ServiceTimeline.drain/reserve and serialization_time
+        # (hot path): framing arithmetic is pure int and the float
+        # operations run in the helper's exact order, so timestamps and
+        # occupancy are bit-identical to the out-of-line versions.
+        timeline = self._timeline
+        reservations = timeline._pending
+        pending_bytes = timeline.pending_bytes
+        while reservations and reservations[0][0] <= arrival:
+            pending_bytes -= reservations.popleft()[1]
+        if pending_bytes + size > self.queue_bytes:
+            timeline.pending_bytes = pending_bytes
+            self.drops.count(size)
+            return False
+        framed = size + 4
+        if framed < 64:
+            framed = 64
+        service = (framed + 20) * 8 / self.rate_bps
+        free_at = timeline.free_at
+        start = arrival if arrival > free_at else free_at
+        finish = start + service
+        timeline.free_at = finish
+        reservations.append((start, size))
+        timeline.pending_bytes = pending_bytes + size
+        when = finish + self._propagation_s
+        peer = self._peer
+        if peer.batch_rx:
+            # Batch-aware receiver: fold this frame into one flush event
+            # per producing burst.  Batch handlers get the delivery time
+            # as data; per-frame handlers read the meta stamp.
+            if peer._batch_handler is None:
+                packet.meta["link_deliver_s"] = when
+            pending = self._pending_rx
+            pending.append((packet, size, when))
+            if len(pending) == 1:
+                self.sim.schedule_at(
+                    when if when > self.sim.now else self.sim.now,
+                    self._flush_rx,
+                )
+            return True
+        if when < self.sim.now:
+            # A virtual arrival far enough in the past that the frame
+            # "already" left: deliver immediately (bounded by the batch
+            # window; the reservation arithmetic stays exact regardless).
+            when = self.sim.now
+        self.sim.schedule_at(when, self._coalesced_deliver, packet)
+        return True
+
+    def _coalesced_deliver(self, packet: Packet) -> None:
+        size = packet.wire_len
+        self.tx.count(size)
+        peer = self._peer
+        if peer is not None:
+            peer._deliver(packet, size)
+
+    def _flush_rx(self) -> None:
+        pending = self._pending_rx
+        self._pending_rx = []
+        if pending[-1][2] > self.sim.horizon:
+            # Frames due beyond the current run window stay pending (the
+            # event-per-frame execution would not have delivered them);
+            # a later run resumes them from the re-armed flush.
+            horizon = self.sim.horizon
+            split = next(
+                i for i, entry in enumerate(pending) if entry[2] > horizon
+            )
+            self._pending_rx = pending[split:]
+            self.sim.schedule_at(self._pending_rx[0][2], self._flush_rx)
+            pending = pending[:split]
+        peer = self._peer
+        tx = self.tx
+        if peer is None:
+            # Link torn down after reservation: same silent in-flight loss
+            # as the per-frame coalesced deliver.
+            for _packet, size, _when in pending:
+                tx.count(size)
+            return
+        begin = peer.rx_flush_begin
+        if begin is not None:
+            begin()
+        batch_handler = peer._batch_handler
+        total_bytes = 0
+        if batch_handler is not None:
+            for entry in pending:
+                total_bytes += entry[1]
+            batch_handler(peer, pending)
+        else:
+            handler = peer._handler
+            if handler is None:
+                for _packet, size, _when in pending:
+                    total_bytes += size
+            else:
+                for packet, size, _when in pending:
+                    total_bytes += size
+                    handler(peer, packet)
+        frames = len(pending)
+        tx.packets += frames
+        tx.bytes += total_bytes
+        rx = peer.rx
+        rx.packets += frames
+        rx.bytes += total_bytes
+        end = peer.rx_flush_end
+        if end is not None:
+            end()
 
     def _start_next_tx(self) -> None:
         if not self._tx_fifo:
             self._tx_busy = False
             return
         self._tx_busy = True
-        packet = self._tx_fifo.popleft()
-        self._tx_fifo_bytes -= packet.wire_len
-        tx_time = serialization_time(packet.wire_len, self.rate_bps)
+        packet, size = self._tx_fifo.popleft()
+        self._tx_fifo_bytes -= size
+        tx_time = serialization_time(size, self.rate_bps)
         self.sim.schedule(tx_time, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
@@ -133,8 +334,8 @@ class Port:
             self.sim.schedule(self._propagation_s, peer._deliver, packet)
         self._start_next_tx()
 
-    def _deliver(self, packet: Packet) -> None:
-        self.rx.count(packet.wire_len)
+    def _deliver(self, packet: Packet, size: int | None = None) -> None:
+        self.rx.count(packet.wire_len if size is None else size)
         if self._handler is not None:
             self._handler(self, packet)
 

@@ -68,11 +68,15 @@ def apply_retrofit(
     switch: LegacySwitch,
     plan: RetrofitPlan,
     auth_key: bytes = b"flexsfp-mgmt-key",
+    fastpath: bool | None = None,
+    batch_size: int | None = None,
 ) -> RetrofitResult:
     """Build and seat one FlexSFP per planned port.
 
     Ports must not have external cables connected yet (modules go into the
     cages first, then cables plug into the modules' optical sides).
+    ``fastpath``/``batch_size`` are forwarded to every module (None keeps
+    the FLEXSFP_FASTPATH/FLEXSFP_BATCH environment defaults).
     """
     modules: dict[int, FlexSFPModule] = {}
     for port_index, policy in sorted(plan.policies.items()):
@@ -92,6 +96,8 @@ def apply_retrofit(
             # Unique per-port management address so a fleet controller can
             # target each module individually through the switch.
             mgmt_mac=f"02:f5:f9:00:01:{port_index + 1:02x}",
+            fastpath=fastpath,
+            batch_size=batch_size,
         )
         switch.insert_flexsfp(port_index, module)
         modules[port_index] = module
