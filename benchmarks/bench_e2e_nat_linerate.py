@@ -9,9 +9,15 @@ size with zero PPE overload drops.
 A second test measures the flow-cache fast path + batched execution: same
 workload, ``fastpath=True, batch_size=16`` — simulation results must be
 identical, but wall-clock simulated-packets/sec must improve ≥3×.
+
+Set ``FLEXSFP_METRICS_DIR=<dir>`` to export every run's full metrics
+registry as ``<dir>/<tag>.jsonl`` + ``<dir>/<tag>.prom`` (CI uploads these
+as build artifacts).
 """
 
+import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -36,6 +42,24 @@ SPEEDUP_RATE_BPS = 14e9
 SPEEDUP_REPEATS = 3
 FRAME_SIZES = (60, 128, 512, 1024, 1514)
 KEY = b"bench-key"
+
+
+def _export_metrics(tag: str, module, host, fiber) -> None:
+    """Dump the run's registry when FLEXSFP_METRICS_DIR points somewhere."""
+    directory = os.environ.get("FLEXSFP_METRICS_DIR")
+    if not directory:
+        return
+    from repro.obs import MetricsRegistry, metrics_jsonl, prometheus_text
+
+    registry = MetricsRegistry()
+    module.register_metrics(registry)
+    registry.register("host", host)
+    registry.register("fiber", fiber)
+    metrics = registry.collect()
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{tag}.jsonl").write_text(metrics_jsonl(metrics) + "\n")
+    (out / f"{tag}.prom").write_text(prometheus_text(metrics))
 
 
 def run_nat(
@@ -101,6 +125,11 @@ def run_nat(
     sim.run(until=run_s + 0.1e-3)
     wall_s = time.perf_counter() - wall_start
     processed = module.ppe.processed.packets
+    tag = (
+        f"nat_{frame_len if frame_len is not None else 'imix'}"
+        f"_fp{int(fastpath)}_b{batch_size}"
+    )
+    _export_metrics(tag, module, host, fiber)
     return {
         "frame": frame_len if frame_len is not None else "IMIX",
         "achieved_gbps": meter.bits_per_second() / 1e9,
@@ -110,7 +139,7 @@ def run_nat(
         "pps": meter.packets_per_second() / 1e6,
         "overload_drops": module.ppe.overload_drops.packets,
         "translated": module.app.counter("translated").packets,
-        "verdicts": dict(module.ppe.stats()["verdicts"]),
+        "verdicts": dict(module.ppe.snapshot()["verdicts"]),
         "latency_ns": module.ppe.latency_ns.snapshot(),
         "delivered": fiber.rx.snapshot(),
         "wall_s": wall_s,

@@ -64,7 +64,7 @@ def main() -> None:
     print(f"Achieved goodput: {meter.bits_per_second() / 1e9:.2f} Gbps "
           f"({meter.total_packets} packets, 0 PPE drops: "
           f"{module.ppe.overload_drops.packets == 0})")
-    print(f"PPE verdicts: {module.ppe.stats()['verdicts']}")
+    print(f"PPE verdicts: {module.ppe.snapshot()['verdicts']}")
 
 
 if __name__ == "__main__":

@@ -84,7 +84,7 @@ def main() -> None:
     print(f"\nlegit packets delivered:   {legit} / 4")
     print(f"flooder packets delivered: {flooder} / 50 "
           f"(first {SYN_LIMIT} SYNs pass, the rest die in the cable)")
-    print(f"verdicts: {module.ppe.stats()['verdicts']}")
+    print(f"verdicts: {module.ppe.snapshot()['verdicts']}")
     print(f"lint warnings: {program.lint() or 'none'}")
 
 

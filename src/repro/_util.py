@@ -103,3 +103,14 @@ def ceil_div(numerator: int, denominator: int) -> int:
 def clamp(value: float, low: float, high: float) -> float:
     """Clamp ``value`` into ``[low, high]``."""
     return max(low, min(high, value))
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy snapshot API."""
+    import warnings
+
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -10,12 +10,18 @@ exposes the toolkit's analysis surface without writing any code:
 * ``bom`` — the FlexSFP cost breakdown at a production volume.
 * ``scale GBPS`` — plan an operating point for a target line rate.
 * ``chaos PLAN`` — replay a named fault plan through the chaos gauntlet.
+* ``metrics`` — run an instrumented scenario, export its registry.
+* ``trace`` — per-packet stage spans through a scenario, as JSON Lines.
+
+Every subcommand accepts ``--json``: the human table renderer is swapped
+for a single canonical ``flexsfp.table/1`` (or metrics/trace-schema) JSON
+document on stdout, built by :mod:`repro.obs.export` — the same schema
+family the metrics exporter emits.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from .apps import APP_FACTORIES, create_app
@@ -32,11 +38,25 @@ from .fpga import (
     table2_rows,
 )
 from .hls import compile_app
+from .obs import (
+    SCENARIOS,
+    SCHEMA_TRACE,
+    json_document,
+    metrics_json,
+    metrics_jsonl,
+    prometheus_text,
+    run_scenario,
+    table_json,
+)
 from .testbed import PowerTestbed
 
 _SHELLS = {kind.value: kind for kind in ShellKind}
 
 
+# ----------------------------------------------------------------------
+# Renderers: every tabular command goes through _emit (one of two
+# renderers — the aligned-text table or a canonical JSON document).
+# ----------------------------------------------------------------------
 def _print_rows(headers: tuple[str, ...], rows: list[tuple]) -> None:
     widths = [
         max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
@@ -46,6 +66,20 @@ def _print_rows(headers: tuple[str, ...], rows: list[tuple]) -> None:
     print("  ".join("-" * w for w in widths))
     for row in rows:
         print("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+
+
+def _emit(
+    args: argparse.Namespace,
+    title: str,
+    headers: tuple[str, ...],
+    rows: list[tuple],
+    **extra: object,
+) -> None:
+    """Render one command result: text table or ``flexsfp.table/1`` JSON."""
+    if getattr(args, "json", False):
+        print(table_json(title, headers, rows, **extra))
+    else:
+        _print_rows(headers, rows)
 
 
 def _shell_from_args(args: argparse.Namespace) -> ShellSpec:
@@ -68,7 +102,7 @@ def cmd_apps(args: argparse.Namespace) -> int:
         app = create_app(name)
         spec = app.pipeline_spec()
         rows.append((name, spec.chain_depth, spec.pipeline_depth, spec.description))
-    _print_rows(("application", "chain", "stages", "description"), rows)
+    _emit(args, "apps", ("application", "chain", "stages", "description"), rows)
     return 0
 
 
@@ -85,7 +119,12 @@ def cmd_devices(args: argparse.Namespace) -> int:
         )
         for d in DEVICES.values()
     ]
-    _print_rows(("device", "LE", "4LUT", "uSRAM", "LSRAM", "SRAM", "price"), rows)
+    _emit(
+        args,
+        "devices",
+        ("device", "LE", "4LUT", "uSRAM", "LSRAM", "SRAM", "price"),
+        rows,
+    )
     return 0
 
 
@@ -105,14 +144,31 @@ def cmd_build(args: argparse.Namespace) -> int:
         ),
     )
     report = result.report
+    headers = ("component", "4LUT", "FF", "uSRAM", "LSRAM")
+    rows = [tuple(row) for row in report.table1_rows()]
+    if getattr(args, "json", False):
+        print(
+            table_json(
+                "build",
+                headers,
+                rows,
+                app=args.app,
+                device=device.name,
+                shell=shell.kind.value,
+                datapath_bits=report.timing.datapath_bits,
+                clock_mhz=report.timing.clock_hz / 1e6,
+                utilization=dict(report.utilization),
+                fits=report.fits,
+                meets_timing=report.meets_timing,
+                notes=list(report.notes),
+            )
+        )
+        return 0 if report.fits and report.meets_timing else 1
     print(
         f"{args.app} on {device.name} / {shell.kind.value}: "
         f"{report.timing.datapath_bits} b @ {report.timing.clock_hz / 1e6:.2f} MHz"
     )
-    _print_rows(
-        ("component", "4LUT", "FF", "uSRAM", "LSRAM"),
-        [tuple(row) for row in report.table1_rows()],
-    )
+    _print_rows(headers, rows)
     util = ", ".join(f"{k} {v:.0%}" for k, v in report.utilization.items())
     print(f"utilization: {util}")
     print(f"fits: {report.fits}   meets timing: {report.meets_timing}")
@@ -139,7 +195,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
         )
         for r in table2_rows()
     ]
-    _print_rows(("design", "logic (LE)", "BRAM (kbit)", "verdict"), rows)
+    _emit(args, "table2", ("design", "logic (LE)", "BRAM (kbit)", "verdict"), rows)
     return 0
 
 
@@ -154,7 +210,13 @@ def cmd_table3(args: argparse.Namespace) -> int:
         )
         for r in table3_rows(units=args.units)
     ]
-    _print_rows(("solution", "raw $", "raw W", "$/10G", "W/10G"), rows)
+    _emit(
+        args,
+        "table3",
+        ("solution", "raw $", "raw W", "$/10G", "W/10G"),
+        rows,
+        units=args.units,
+    )
     return 0
 
 
@@ -163,9 +225,12 @@ def cmd_power(args: argparse.Namespace) -> int:
     build = compile_app(app, ShellSpec())
     testbed = PowerTestbed()
     samples = testbed.paper_series(build.report.total, build.report.timing.clock_hz)
-    _print_rows(
+    _emit(
+        args,
+        "power",
         ("configuration", "watts"),
         [(s.label, f"{s.watts:.3f}") for s in samples],
+        app=args.app,
     )
     return 0
 
@@ -176,8 +241,20 @@ def cmd_bom(args: argparse.Namespace) -> int:
         (r["item"], r["low_usd"], r["high_usd"], f"{r['share_of_high']:.0%}")
         for r in bom.breakdown(args.units)
     ]
-    _print_rows(("item", "low $", "high $", "share"), rows)
     low, high = bom.total_range(args.units)
+    if args.json:
+        print(
+            table_json(
+                "bom",
+                ("item", "low $", "high $", "share"),
+                rows,
+                units=args.units,
+                total_low_usd=low,
+                total_high_usd=high,
+            )
+        )
+        return 0
+    _print_rows(("item", "low $", "high $", "share"), rows)
     print(f"total at {args.units:,} units: ${low:.0f}-{high:.0f}")
     return 0
 
@@ -196,10 +273,18 @@ def cmd_scale(args: argparse.Namespace) -> int:
                 candidates.append((width * clock, clock, width))
                 break
             width *= 2
+    headers = ("gbps", "width_bits", "clock_mhz", "raw_gbps")
     if not candidates:
-        print(f"no single-pipeline operating point sustains {args.gbps:.0f} Gbps")
+        if args.json:
+            print(table_json("scale", headers, [], gbps=args.gbps, feasible=False))
+        else:
+            print(f"no single-pipeline operating point sustains {args.gbps:.0f} Gbps")
         return 1
     _, clock, width = min(candidates)
+    if args.json:
+        row = (args.gbps, width, clock / 1e6, width * clock / 1e9)
+        print(table_json("scale", headers, [row], gbps=args.gbps, feasible=True))
+        return 0
     print(
         f"{args.gbps:.0f} Gbps -> {width} b datapath @ {clock / 1e6:.2f} MHz "
         f"(raw {width * clock / 1e9:.1f} Gbps)"
@@ -234,7 +319,14 @@ def cmd_envelope(args: argparse.Namespace) -> int:
                 "fits" if check.fits else "over budget",
             )
         )
-    _print_rows(("form factor", "module W", "envelope W", "verdict"), rows)
+    _emit(
+        args,
+        "envelope",
+        ("form factor", "module W", "envelope W", "verdict"),
+        rows,
+        app=args.app,
+        gbps=args.gbps,
+    )
     return 0
 
 
@@ -246,8 +338,31 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         fastpath=True if args.fastpath else None,
         batch_size=args.batch if args.batch else None,
     )
+    metric_rows = [
+        ("packets sent", result.packets_sent),
+        ("packets lost", result.packets_lost),
+        ("loss fraction", f"{result.loss_fraction:.4f}"),
+        ("damage incidents", result.incidents),
+        ("fleet repairs", result.repairs),
+        ("self-healed fraction", f"{result.self_healed_fraction:.2f}"),
+        ("recovery time (ms)", f"{result.recovery_time_s * 1e3:.1f}"),
+        ("watchdog reboots", result.watchdog_reboots),
+        ("failed boots", result.failed_boots),
+        ("healthy at end", result.healthy_at_end),
+    ]
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        print(
+            table_json(
+                "chaos",
+                ("metric", "value"),
+                metric_rows,
+                plan=args.plan,
+                seed=args.seed,
+                signature=plan.signature(),
+                events=[[e.time_s, e.kind, e.target] for e in plan],
+                result=result.to_dict(),
+            )
+        )
         return 0
     print(f"plan {args.plan!r} seed={args.seed} sig={plan.signature()[:16]}…")
     _print_rows(
@@ -255,21 +370,42 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         [(f"{e.time_s * 1e3:.1f}", e.kind, e.target) for e in plan],
     )
     print()
-    _print_rows(
-        ("metric", "value"),
-        [
-            ("packets sent", result.packets_sent),
-            ("packets lost", result.packets_lost),
-            ("loss fraction", f"{result.loss_fraction:.4f}"),
-            ("damage incidents", result.incidents),
-            ("fleet repairs", result.repairs),
-            ("self-healed fraction", f"{result.self_healed_fraction:.2f}"),
-            ("recovery time (ms)", f"{result.recovery_time_s * 1e3:.1f}"),
-            ("watchdog reboots", result.watchdog_reboots),
-            ("failed boots", result.failed_boots),
-            ("healthy at end", result.healthy_at_end),
-        ],
+    _print_rows(("metric", "value"), metric_rows)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    run = run_scenario(
+        args.scenario,
+        fastpath=args.fastpath,
+        batch_size=args.batch if args.batch else 1,
+        profile=args.profile,
     )
+    metrics = run.metrics()
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(metrics_json(metrics))
+    elif fmt == "jsonl":
+        print(metrics_jsonl(metrics))
+    else:
+        print(prometheus_text(metrics), end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    run = run_scenario(
+        args.scenario,
+        trace_packets=args.packets,
+        fastpath=args.fastpath,
+        batch_size=args.batch if args.batch else 1,
+    )
+    tracer = run.tracer
+    if args.json:
+        print(json_document(SCHEMA_TRACE, spans=tracer.to_dicts()))
+        return 0
+    jsonl = tracer.to_jsonl()
+    if jsonl:
+        print(jsonl)
     return 0
 
 
@@ -278,16 +414,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flexsfp", description="FlexSFP feasibility toolkit"
     )
+    # Shared by every subcommand: swap the text renderer for one
+    # canonical schema-tagged JSON document on stdout.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("apps", help="list deployable applications").set_defaults(
-        func=cmd_apps
-    )
-    sub.add_parser("devices", help="list the FPGA device catalog").set_defaults(
-        func=cmd_devices
-    )
+    sub.add_parser(
+        "apps", help="list deployable applications", parents=[common]
+    ).set_defaults(func=cmd_apps)
+    sub.add_parser(
+        "devices", help="list the FPGA device catalog", parents=[common]
+    ).set_defaults(func=cmd_devices)
 
-    build = sub.add_parser("build", help="build an application, print the report")
+    build = sub.add_parser(
+        "build", help="build an application, print the report", parents=[common]
+    )
     build.add_argument("app", choices=sorted(APP_FACTORIES))
     build.add_argument("--shell", choices=sorted(_SHELLS), default="one-way-filter")
     build.add_argument("--device", default="MPF200T")
@@ -308,32 +452,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.set_defaults(func=cmd_build)
 
-    t1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    t1 = sub.add_parser(
+        "table1", help="reproduce the paper's Table 1", parents=[common]
+    )
     t1.add_argument("--shell", default="one-way-filter")
     t1.add_argument("--rate", type=float, default=10.0)
     t1.add_argument("--width", type=int, default=64)
     t1.set_defaults(func=cmd_table1)
-    sub.add_parser("table2", help="reproduce the paper's Table 2").set_defaults(
-        func=cmd_table2
+    sub.add_parser(
+        "table2", help="reproduce the paper's Table 2", parents=[common]
+    ).set_defaults(func=cmd_table2)
+    t3 = sub.add_parser(
+        "table3", help="reproduce the paper's Table 3", parents=[common]
     )
-    t3 = sub.add_parser("table3", help="reproduce the paper's Table 3")
     t3.add_argument("--units", type=int, default=1_000)
     t3.set_defaults(func=cmd_table3)
 
-    power = sub.add_parser("power", help="the §5 power series for an app")
+    power = sub.add_parser(
+        "power", help="the §5 power series for an app", parents=[common]
+    )
     power.add_argument("--app", choices=sorted(APP_FACTORIES), default="nat")
     power.set_defaults(func=cmd_power)
 
-    bom = sub.add_parser("bom", help="FlexSFP cost breakdown")
+    bom = sub.add_parser("bom", help="FlexSFP cost breakdown", parents=[common])
     bom.add_argument("--units", type=int, default=1_000)
     bom.set_defaults(func=cmd_bom)
 
-    scale = sub.add_parser("scale", help="plan an operating point for a line rate")
+    scale = sub.add_parser(
+        "scale", help="plan an operating point for a line rate", parents=[common]
+    )
     scale.add_argument("gbps", type=float)
     scale.set_defaults(func=cmd_scale)
 
     envelope = sub.add_parser(
-        "envelope", help="check MSA power envelopes for a rate/app"
+        "envelope", help="check MSA power envelopes for a rate/app", parents=[common]
     )
     envelope.add_argument("gbps", type=float)
     envelope.add_argument("--app", choices=sorted(APP_FACTORIES), default="nat")
@@ -342,11 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
     envelope.set_defaults(func=cmd_envelope)
 
     chaos = sub.add_parser(
-        "chaos", help="replay a named fault plan through the chaos gauntlet"
+        "chaos",
+        help="replay a named fault plan through the chaos gauntlet",
+        parents=[common],
     )
     chaos.add_argument("plan", choices=sorted(NAMED_PLANS))
     chaos.add_argument("--seed", type=int, default=1)
-    chaos.add_argument("--json", action="store_true", help="machine-readable output")
     chaos.add_argument(
         "--fastpath", action="store_true", help="enable the flow-cache fast path"
     )
@@ -354,6 +507,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented scenario, export its metrics registry",
+        parents=[common],
+    )
+    metrics.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default="nat-linerate"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json", "jsonl"),
+        default="prom",
+        help="export format (--json forces json)",
+    )
+    metrics.add_argument(
+        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+    )
+    metrics.add_argument(
+        "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
+    )
+    metrics.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the event-loop profiler (sim.profile.* metrics)",
+    )
+    metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace",
+        help="per-packet stage spans through a scenario (JSON Lines)",
+        parents=[common],
+    )
+    trace.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default="nat-chain"
+    )
+    trace.add_argument(
+        "--packets", type=int, default=4, help="number of packets to trace"
+    )
+    trace.add_argument(
+        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+    )
+    trace.add_argument(
+        "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -16,6 +16,7 @@ import hashlib
 from enum import Enum
 from typing import TYPE_CHECKING
 
+from .._util import warn_deprecated
 from ..errors import ControlPlaneError, FlashError, ReproError, TableError
 from ..packet import Packet
 from .mgmt import MgmtMessage, MgmtOp, parse_chunk_body
@@ -196,7 +197,7 @@ class ControlPlane:
         return self._ack(
             message,
             app=self.module.app.counters_snapshot(),
-            ppe=self.module.ppe.stats(),
+            ppe=self.module.ppe.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -278,7 +279,23 @@ class ControlPlane:
         self.module.schedule_reboot()
         return self._ack(message, rebooting=True)
 
+    def snapshot(self) -> dict[str, int]:
+        """Structured counter snapshot (stable legacy dict layout)."""
+        return {
+            "commands_handled": self.commands_handled,
+            "auth_failures": self.auth_failures,
+            "replays_rejected": self.replays_rejected,
+            "crashed": self.crashed,
+            "frames_while_unresponsive": self.frames_while_unresponsive,
+        }
+
     def stats(self) -> dict[str, int]:
+        """Deprecated alias for :meth:`snapshot`."""
+        warn_deprecated("ControlPlane.stats()", "ControlPlane.snapshot()")
+        return self.snapshot()
+
+    def metric_values(self) -> dict[str, int | bool]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
         return {
             "commands_handled": self.commands_handled,
             "auth_failures": self.auth_failures,

@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from .._util import warn_deprecated
 from ..errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -202,7 +203,25 @@ class FlowCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> dict[str, int | float]:
+        """Structured counter snapshot (stable legacy dict layout)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
     def stats(self) -> dict[str, int | float]:
+        """Deprecated alias for :meth:`snapshot`."""
+        warn_deprecated("FlowCache.stats()", "FlowCache.snapshot()")
+        return self.snapshot()
+
+    def metric_values(self) -> dict[str, int | float]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
         return {
             "size": len(self._entries),
             "capacity": self.capacity,

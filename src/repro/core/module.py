@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 from typing import Callable
 
-from .._util import mac_to_int
+from .._util import mac_to_int, warn_deprecated
 from ..errors import BitstreamError, ConfigError, FlashError
 from ..fpga.bitstream import Bitstream
 from ..fpga.flash import SPIFlash
@@ -196,6 +196,10 @@ class FlexSFPModule:
             flow_cache=self.flow_cache,
         )
 
+        # Optional packet tracer (duck-typed repro.obs.trace.Tracer), set
+        # via attach_tracer.  None costs one attribute load per frame.
+        self._tracer = None
+
         self._down = False
         self.degraded = False
         self.reboots = 0
@@ -264,8 +268,33 @@ class FlexSFPModule:
             if direction is Direction.EDGE_TO_LINE
             else self._done_line_to_edge
         )
+        tracer = self._tracer
         for packet, size, when in items:
-            if classify(packet, size) == "cpu":
+            if tracer is not None and tracer.admit(packet):
+                when_ns = int(when * 1e9)
+                tracer.record(
+                    packet,
+                    "mac.rx",
+                    self.name,
+                    when_ns,
+                    when_ns,
+                    direction,
+                    port=reply_port.name,
+                    size=size,
+                )
+                classified = classify(packet, size)
+                tracer.record(
+                    packet,
+                    "arbiter",
+                    self.name,
+                    when_ns,
+                    when_ns,
+                    direction,
+                    classified=classified,
+                )
+            else:
+                classified = classify(packet, size)
+            if classified == "cpu":
                 addressing = self._mgmt_addressing(packet)
                 if addressing == "us":
                     self._to_control_plane(packet, reply_port, when)
@@ -326,7 +355,32 @@ class FlexSFPModule:
         # timestamps and occupancy checks match the event-per-frame run.
         at_s = packet.meta.pop("link_deliver_s", None)
         size = packet.wire_len
-        if self.arbiter.classify(packet, size) == "cpu":
+        tracer = self._tracer
+        traced = tracer is not None and tracer.admit(packet)
+        if traced:
+            arrival_ns = int((self.sim.now if at_s is None else at_s) * 1e9)
+            tracer.record(
+                packet,
+                "mac.rx",
+                self.name,
+                arrival_ns,
+                arrival_ns,
+                direction,
+                port=reply_port.name,
+                size=size,
+            )
+        classified = self.arbiter.classify(packet, size)
+        if traced:
+            tracer.record(
+                packet,
+                "arbiter",
+                self.name,
+                arrival_ns,
+                arrival_ns,
+                direction,
+                classified=classified,
+            )
+        if classified == "cpu":
             addressing = self._mgmt_addressing(packet)
             if addressing == "us":
                 self._to_control_plane(packet, reply_port, at_s)
@@ -415,6 +469,25 @@ class FlexSFPModule:
         # float order as the event-per-frame path) keeps downstream
         # serialization timestamps bit-identical.
         deliver_s = packet.meta.pop("ppe_deliver_s", None)
+        tracer = self._tracer
+        if tracer is not None and tracer.is_traced(packet):
+            egress_ns = int(
+                (self.sim.now if deliver_s is None else deliver_s) * 1e9
+            )
+            detail: dict[str, object] = {"verdict": verdict.value}
+            if verdict is Verdict.PASS:
+                detail["port"] = self._egress_port(direction).name
+            elif verdict is Verdict.REFLECT:
+                detail["port"] = self._egress_port(direction.reverse).name
+            tracer.record(
+                packet,
+                "egress",
+                self.name,
+                egress_ns,
+                egress_ns,
+                direction,
+                **detail,
+            )
         if verdict is Verdict.PASS:
             # Inlined _egress/send_at for the dominant verdict: identical
             # arithmetic, two fewer calls per frame.
@@ -535,6 +608,8 @@ class FlexSFPModule:
             batch_size=self.batch_size,
             flow_cache=self.flow_cache,
         )
+        # An attached tracer survives the engine swap.
+        self.ppe.tracer = self._tracer
         self.reboots += 1
         self._down = True
         self.sim.schedule(RECONFIG_DOWNTIME_S, self._boot_complete)
@@ -602,16 +677,65 @@ class FlexSFPModule:
             self.reboot()
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection / observability
     # ------------------------------------------------------------------
-    def stats(self) -> dict[str, object]:
+    def attach_tracer(self, tracer) -> None:
+        """Attach a packet tracer (duck-typed ``repro.obs.trace.Tracer``).
+
+        The tracer admits packets at module ingress and receives stage
+        spans (``mac.rx``, ``arbiter``, ``ppe``, ``app``, ``egress``) with
+        virtual timestamps.  Passing None detaches.  The attachment
+        survives reboots (the swapped-in engine inherits it).
+        """
+        self._tracer = tracer
+        self.ppe.tracer = tracer
+
+    def register_metrics(self, registry) -> None:
+        """Publish every sub-component into a ``MetricsRegistry``.
+
+        Prefixes hang off the module name, e.g. ``module0.ppe.<app>...``,
+        ``module0.edge.tx.packets``, ``module0.reboots``.  The PPE and
+        control plane are registered through lambdas because reboots swap
+        the live instances.
+        """
+        name = self.name
+        registry.register(name, self)
+        registry.register(f"{name}.ppe", lambda: self.ppe.metric_values())
+        registry.register(f"{name}.edge", self.edge_port)
+        registry.register(f"{name}.line", self.line_port)
+        if self.mgmt_port is not None:
+            registry.register(f"{name}.mgmt", self.mgmt_port)
+        registry.register(f"{name}.verdict_drops", self.verdict_drops)
+        registry.register(f"{name}.downtime_drops", self.downtime_drops)
+        registry.register(f"{name}.degraded_forwarded", self.degraded_forwarded)
+        registry.register(
+            f"{name}.control_plane",
+            lambda: self.control_plane.metric_values(),
+        )
+
+    def metric_values(self) -> dict[str, object]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view (module level)."""
         return {
             "app": self.app.name,
             "shell": self.shell.kind.value,
-            "ppe": self.ppe.stats(),
+            "reboots": self.reboots,
+            "failed_boots": self.failed_boots,
+            "watchdog_reboots": self.watchdog_reboots,
+            "degraded": self.degraded,
+            "down": self._down,
+            "boot_slot": self.flash.boot_slot,
+            "control_fraction": self.arbiter.control_fraction(),
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        """Structured counter snapshot (stable legacy dict layout)."""
+        return {
+            "app": self.app.name,
+            "shell": self.shell.kind.value,
+            "ppe": self.ppe.snapshot(),
             "verdict_drops": self.verdict_drops.snapshot(),
             "downtime_drops": self.downtime_drops.snapshot(),
-            "control_plane": self.control_plane.stats(),
+            "control_plane": self.control_plane.snapshot(),
             "control_fraction": self.arbiter.control_fraction(),
             "reboots": self.reboots,
             "failed_boots": self.failed_boots,
@@ -620,6 +744,11 @@ class FlexSFPModule:
             "boot_slot": self.flash.boot_slot,
             "watchdog_reboots": self.watchdog_reboots,
         }
+
+    def stats(self) -> dict[str, object]:
+        """Deprecated alias for :meth:`snapshot`."""
+        warn_deprecated("FlexSFPModule.stats()", "FlexSFPModule.snapshot()")
+        return self.snapshot()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -36,6 +36,7 @@ from collections import deque
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Hashable
 
+from .._util import warn_deprecated
 from ..errors import SimulationError
 from ..fpga.timing import TimingSpec
 from ..packet import Packet
@@ -252,6 +253,10 @@ class PacketProcessingEngine:
         self.fastpath_hits = Counter("ppe.fastpath_hits")
         self.verdict_counts: dict[Verdict, int] = {v: 0 for v in Verdict}
         self.latency_ns = Histogram.exponential(start=50.0, factor=2.0, count=16)
+        # Optional packet tracer (duck-typed repro.obs.trace.Tracer — core
+        # never imports obs).  None costs one attribute load per frame;
+        # traced frames take the cold instrumented twin of _apply.
+        self.tracer = None
 
     def submit(
         self,
@@ -532,6 +537,10 @@ class PacketProcessingEngine:
         self, packet: Packet, size: int, direction: Direction, ctx: PPEContext
     ) -> Verdict:
         """Run the application on one frame, via the flow cache if possible."""
+        tracer = self.tracer
+        if tracer is not None and tracer.is_traced(packet):
+            verdict, _emitted = self._apply_traced(packet, size, direction, ctx)
+            return verdict
         app = self.app
         cache = self.flow_cache
         verdict: Verdict | None = None
@@ -577,6 +586,10 @@ class PacketProcessingEngine:
         ``processed`` counter.  Slow-path frames get the identical
         ``PPEContext`` the event-per-frame execution constructs.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.is_traced(packet):
+            ctx = PPEContext(finish_ns, direction, self.device_id, queue_depth)
+            return self._apply_traced(packet, size, direction, ctx)
         app = self.app
         cache = self.flow_cache
         if cache is not None:
@@ -622,7 +635,81 @@ class PacketProcessingEngine:
         self.verdict_counts[verdict] += 1
         return verdict, ctx.emitted
 
-    def stats(self) -> dict[str, object]:
+    def _apply_traced(
+        self, packet: Packet, size: int, direction: Direction, ctx: PPEContext
+    ) -> tuple[Verdict, list[tuple[Packet, Direction]]]:
+        """Instrumented (cold) twin of the apply paths for traced packets.
+
+        Functionally identical to :meth:`_apply` — the same counters, cache
+        operations, and verdict checks in the same order — but additionally
+        records a ``ppe`` span (queue residency, fast-path hit/miss) and an
+        ``app`` span (verdict, header mutations) on the attached tracer.
+        Stage names are string literals matching ``repro.obs.trace``
+        constants: core never imports obs.
+        """
+        tracer = self.tracer
+        before = tracer.snapshot_headers(packet)
+        app = self.app
+        cache = self.flow_cache
+        fastpath: str | None = None
+        verdict: Verdict | None = None
+        if cache is not None:
+            key = app.flow_key(packet)
+            if key is not None:
+                generation = app.tables.generation()
+                recipe = cache.lookup((direction, key), generation)
+                if recipe is not None:
+                    fastpath = "hit"
+                    self.fastpath_hits.count(size)
+                    verdict = recipe.apply(packet, app, size)
+                else:
+                    fastpath = "miss"
+                    recipe = app.decide(packet, ctx)
+                    if recipe is not None:
+                        cache.insert((direction, key), recipe, generation)
+                        verdict = recipe.apply(packet, app, size)
+        if verdict is None:
+            verdict = app.process(packet, ctx)
+            if not isinstance(verdict, Verdict):
+                raise SimulationError(
+                    f"application {app.name!r} returned {verdict!r} "
+                    "instead of a Verdict"
+                )
+        self.processed.count(packet.wire_len)
+        self.verdict_counts[verdict] += 1
+        enqueue_ns = packet.meta.get("ppe_enqueue_ns", ctx.time_ns)
+        ppe_detail: dict[str, object] = {
+            "app": app.name,
+            "queue_depth": ctx.queue_depth,
+        }
+        if fastpath is not None:
+            ppe_detail["fastpath"] = fastpath
+        tracer.record(
+            packet,
+            "ppe",
+            f"ppe{self.device_id}",
+            enqueue_ns,
+            ctx.time_ns,
+            direction,
+            **ppe_detail,
+        )
+        app_detail: dict[str, object] = {"verdict": verdict.value}
+        mutations = tracer.header_diff(before, packet)
+        if mutations:
+            app_detail["mutations"] = mutations
+        tracer.record(
+            packet,
+            "app",
+            app.name,
+            ctx.time_ns,
+            ctx.time_ns,
+            direction,
+            **app_detail,
+        )
+        return verdict, ctx.emitted
+
+    def snapshot(self) -> dict[str, object]:
+        """Structured counter snapshot (stable legacy dict layout)."""
         stats: dict[str, object] = {
             "processed": self.processed.snapshot(),
             "overload_drops": self.overload_drops.snapshot(),
@@ -630,8 +717,43 @@ class PacketProcessingEngine:
             "latency_ns": self.latency_ns.snapshot(),
         }
         if self.flow_cache is not None:
-            stats["flow_cache"] = self.flow_cache.stats()
+            stats["flow_cache"] = self.flow_cache.snapshot()
             stats["fastpath_hits"] = self.fastpath_hits.snapshot()
         if self.batch_size > 1:
             stats["batch_size"] = self.batch_size
         return stats
+
+    def stats(self) -> dict[str, object]:
+        """Deprecated alias for :meth:`snapshot`."""
+        warn_deprecated(
+            "PacketProcessingEngine.stats()",
+            "PacketProcessingEngine.snapshot()",
+        )
+        return self.snapshot()
+
+    def metric_values(self) -> dict[str, object]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view.
+
+        Keys are prefixed with the application name, so registering an
+        engine under ``module0.ppe`` yields names like
+        ``module0.ppe.nat.overload_drops.packets``.
+        """
+        prefix = self.app.name
+        values: dict[str, object] = {}
+        for group, counter in (
+            ("processed", self.processed),
+            ("overload_drops", self.overload_drops),
+        ):
+            for key, value in counter.metric_values().items():
+                values[f"{prefix}.{group}.{key}"] = value
+        for verdict, count in self.verdict_counts.items():
+            values[f"{prefix}.verdicts.{verdict.value}"] = count
+        for key, value in self.latency_ns.metric_values().items():
+            values[f"{prefix}.latency_ns.{key}"] = value
+        if self.flow_cache is not None:
+            for key, value in self.flow_cache.metric_values().items():
+                values[f"{prefix}.flow_cache.{key}"] = value
+            for key, value in self.fastpath_hits.metric_values().items():
+                values[f"{prefix}.fastpath_hits.{key}"] = value
+        values[f"{prefix}.batch_size"] = self.batch_size
+        return values

@@ -57,3 +57,7 @@ class CompileError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid static configuration of a model component."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics-registry or trace misuse (bad name, duplicate prefix...)."""

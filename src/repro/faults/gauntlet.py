@@ -314,7 +314,7 @@ def run_gauntlet(
         plan_name=plan_name,
         plan_signature=plan.signature(),
         faults_applied=len(injector.applied),
-        faults_by_kind=dict(injector.stats()["by_kind"]),
+        faults_by_kind=dict(injector.snapshot()["by_kind"]),
         packets_sent=source.sent.packets,
         packets_received=received[0],
         probes=len(probe_log),

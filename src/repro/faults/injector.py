@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from .._util import warn_deprecated
 from ..errors import ConfigError
 from .plan import LINK_FAULTS, FaultEvent, FaultPlan
 
@@ -102,8 +103,22 @@ class FaultInjector:
         else:  # module_reboot
             module.reboot()
 
-    def stats(self) -> dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
+        """Structured applied-event summary (stable legacy dict layout)."""
         by_kind: dict[str, int] = {}
         for _, event in self.applied:
             by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
         return {"applied": len(self.applied), "by_kind": by_kind}
+
+    def stats(self) -> dict[str, object]:
+        """Deprecated alias for :meth:`snapshot`."""
+        warn_deprecated("FaultInjector.stats()", "FaultInjector.snapshot()")
+        return self.snapshot()
+
+    def metric_values(self) -> dict[str, int]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        values = {"applied": len(self.applied)}
+        for _, event in self.applied:
+            key = f"by_kind.{event.kind}"
+            values[key] = values.get(key, 0) + 1
+        return values

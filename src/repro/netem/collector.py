@@ -120,3 +120,13 @@ class TelemetryCollector(Host):
             "faults": len(self.state.fault_log),
             "undecodable": self.state.undecodable,
         }
+
+    def metric_values(self) -> dict[str, float]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view.
+
+        Extends the base :class:`Host` metrics with decode aggregates.
+        """
+        values = super().metric_values()
+        for key, value in self.summary().items():
+            values[f"decoded.{key}"] = value
+        return values

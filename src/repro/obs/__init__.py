@@ -1,0 +1,78 @@
+"""In-cable observability: metrics registry, packet tracing, profiling.
+
+The substrate behind the paper's telemetry use cases, applied to the
+simulation itself: every component publishes into one hierarchical
+dotted-name :class:`MetricsRegistry`, packets can opt into per-stage
+:class:`Tracer` spans with virtual timestamps, and a :class:`LoopProfiler`
+attributes event-loop wall clock to component classes.  Exporters render
+the collected state as Prometheus text, JSON documents, or JSON Lines.
+"""
+
+from .export import (
+    SCHEMA_METRICS,
+    SCHEMA_PROFILE,
+    SCHEMA_TABLE,
+    SCHEMA_TRACE,
+    json_document,
+    metrics_json,
+    metrics_jsonl,
+    prometheus_name,
+    prometheus_text,
+    table_json,
+)
+from .profiler import ComponentProfile, LoopProfiler
+from .registry import (
+    MetricSource,
+    MetricsRegistry,
+    MetricValue,
+    validate_metric_name,
+)
+from .scenario import (
+    SCENARIOS,
+    ScenarioRun,
+    run_nat_chain,
+    run_nat_linerate,
+    run_scenario,
+)
+from .trace import (
+    STAGE_APP,
+    STAGE_ARBITER,
+    STAGE_EGRESS,
+    STAGE_MAC_RX,
+    STAGE_PPE,
+    TRACE_ID_META,
+    Tracer,
+    TraceSpan,
+)
+
+__all__ = [
+    "ComponentProfile",
+    "LoopProfiler",
+    "MetricSource",
+    "MetricValue",
+    "MetricsRegistry",
+    "SCENARIOS",
+    "SCHEMA_METRICS",
+    "SCHEMA_PROFILE",
+    "SCHEMA_TABLE",
+    "SCHEMA_TRACE",
+    "STAGE_APP",
+    "STAGE_ARBITER",
+    "STAGE_EGRESS",
+    "STAGE_MAC_RX",
+    "STAGE_PPE",
+    "ScenarioRun",
+    "TRACE_ID_META",
+    "TraceSpan",
+    "Tracer",
+    "json_document",
+    "metrics_json",
+    "metrics_jsonl",
+    "prometheus_name",
+    "prometheus_text",
+    "run_nat_chain",
+    "run_nat_linerate",
+    "run_scenario",
+    "table_json",
+    "validate_metric_name",
+]

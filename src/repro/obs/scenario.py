@@ -1,0 +1,171 @@
+"""Canonical instrumented scenarios for the observability CLI and CI.
+
+One place defines the quick NAT line-rate configuration (the same
+topology the golden-determinism tests pin down) wired into the full
+observability stack: a :class:`~repro.obs.registry.MetricsRegistry` over
+every component, an optional :class:`~repro.obs.trace.Tracer`, and an
+optional :class:`~repro.obs.profiler.LoopProfiler` on the event loop.
+
+``repro metrics`` / ``repro trace`` and the benchmark artifact export all
+drive these builders, so the numbers a CI artifact carries and the ones a
+test asserts on come from the identical code path.
+"""
+
+from __future__ import annotations
+
+from ..apps import StaticNat
+from ..core.module import FlexSFPModule
+from ..errors import ConfigError
+from ..netem import CbrSource
+from ..packet import make_udp
+from ..sim.engine import Simulator
+from ..sim.link import Port, connect
+from .profiler import LoopProfiler
+from .registry import MetricsRegistry
+from .trace import Tracer
+
+SCENARIO_KEY = b"obs-scenario-key"
+DEFAULT_DURATION_S = 0.2e-3
+
+
+class ScenarioRun:
+    """Everything an instrumented scenario run produced."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: MetricsRegistry,
+        modules: list[FlexSFPModule],
+        tracer: Tracer | None,
+        profiler: LoopProfiler | None,
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.modules = modules
+        self.tracer = tracer
+        self.profiler = profiler
+
+    @property
+    def module(self) -> FlexSFPModule:
+        return self.modules[0]
+
+    def metrics(self) -> dict:
+        return self.registry.collect()
+
+
+def _run(
+    module_count: int,
+    duration_s: float,
+    rate_bps: float,
+    frame_len: int,
+    fastpath: bool,
+    batch_size: int,
+    trace_packets: int | None,
+    profile: bool,
+) -> ScenarioRun:
+    sim = Simulator()
+    registry = MetricsRegistry()
+    tracer = Tracer(limit=trace_packets) if trace_packets is not None else None
+    profiler = LoopProfiler() if profile else None
+    if profiler is not None:
+        sim.profiler = profiler
+        registry.register("sim.profile", profiler)
+    registry.register_value("sim.events", lambda: sim.events_processed)
+
+    modules: list[FlexSFPModule] = []
+    previous_port: Port | None = None
+    for index in range(module_count):
+        nat = StaticNat(capacity=1024)
+        nat.add_mapping(f"10.0.0.{index + 1}", f"198.51.100.{index + 1}")
+        module = FlexSFPModule(
+            sim,
+            f"module{index}",
+            nat,
+            auth_key=SCENARIO_KEY,
+            device_id=index,
+            fastpath=fastpath,
+            batch_size=batch_size,
+        )
+        module.register_metrics(registry)
+        if tracer is not None:
+            module.attach_tracer(tracer)
+        if previous_port is not None:
+            connect(previous_port, module.edge_port)
+        modules.append(module)
+        previous_port = module.line_port
+    if tracer is not None:
+        registry.register("trace", tracer)
+
+    host = Port(
+        sim, "host", rate_bps=rate_bps, queue_bytes=1 << 22,
+        coalesce=batch_size > 1,
+    )
+    fiber = Port(
+        sim, "fiber", rate_bps=rate_bps, queue_bytes=1 << 22,
+        batch_rx=batch_size > 1,
+    )
+    connect(host, modules[0].edge_port)
+    connect(previous_port, fiber)
+    registry.register("host", host)
+    registry.register("fiber", fiber)
+
+    template = make_udp(src_ip="10.0.0.1", payload=bytes(max(0, frame_len - 42)))
+    CbrSource(
+        sim,
+        host,
+        rate_bps=rate_bps,
+        frame_len=frame_len,
+        stop=duration_s,
+        factory=lambda index, size: template.copy(),
+        burst=batch_size if batch_size > 1 else 1,
+    )
+    sim.run(until=duration_s + 0.1e-3)
+    return ScenarioRun(sim, registry, modules, tracer, profiler)
+
+
+def run_nat_linerate(
+    duration_s: float = DEFAULT_DURATION_S,
+    rate_bps: float = 10e9,
+    frame_len: int = 60,
+    fastpath: bool = False,
+    batch_size: int = 1,
+    trace_packets: int | None = None,
+    profile: bool = False,
+) -> ScenarioRun:
+    """The §5.1 quick NAT line-rate config, fully instrumented."""
+    return _run(
+        1, duration_s, rate_bps, frame_len, fastpath, batch_size,
+        trace_packets, profile,
+    )
+
+
+def run_nat_chain(
+    duration_s: float = DEFAULT_DURATION_S,
+    rate_bps: float = 10e9,
+    frame_len: int = 60,
+    fastpath: bool = False,
+    batch_size: int = 1,
+    trace_packets: int | None = None,
+    profile: bool = False,
+) -> ScenarioRun:
+    """Two chained NAT modules — the trace demo for multi-hop cables."""
+    return _run(
+        2, duration_s, rate_bps, frame_len, fastpath, batch_size,
+        trace_packets, profile,
+    )
+
+
+SCENARIOS = {
+    "nat-linerate": run_nat_linerate,
+    "nat-chain": run_nat_chain,
+}
+
+
+def run_scenario(name: str, **kwargs) -> ScenarioRun:
+    """Run a named scenario; unknown names raise :class:`ConfigError`."""
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise ConfigError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        )
+    return builder(**kwargs)

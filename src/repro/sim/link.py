@@ -149,6 +149,19 @@ class Port:
     def queue_depth_packets(self) -> int:
         return len(self._tx_fifo)
 
+    def metric_values(self) -> dict[str, int | float]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        return {
+            "tx.packets": self.tx.packets,
+            "tx.bytes": self.tx.bytes,
+            "rx.packets": self.rx.packets,
+            "rx.bytes": self.rx.bytes,
+            "drops.packets": self.drops.packets,
+            "drops.bytes": self.drops.bytes,
+            "queue.bytes": self.queue_depth_bytes,
+            "rate_bps": self.rate_bps,
+        }
+
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------

@@ -35,6 +35,10 @@ class Counter:
     def snapshot(self) -> dict[str, int]:
         return {"packets": self.packets, "bytes": self.bytes}
 
+    def metric_values(self) -> dict[str, int]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        return {"packets": self.packets, "bytes": self.bytes}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Counter({self.name}: {self.packets} pkts / {self.bytes} B)"
 
@@ -71,6 +75,15 @@ class RunningStats:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
+    def metric_values(self) -> dict[str, float]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
 
 class RateMeter:
     """Measures achieved bit/packet rate over the observed interval.
@@ -79,10 +92,16 @@ class RateMeter:
     timestamps and totals.  ``bits_per_second`` uses the span between first
     and last observation (optionally overridden with an explicit window),
     matching how line-rate tests on real traffic generators report goodput.
+
+    A flow with a single observation has a zero span even though bytes
+    were delivered; ``min_window_s`` (constructor default or per-call
+    override) supplies the fallback window so such flows report a finite
+    rate instead of 0.0.
     """
 
-    def __init__(self, name: str = "rate") -> None:
+    def __init__(self, name: str = "rate", min_window_s: float | None = None) -> None:
         self.name = name
+        self.min_window_s = min_window_s
         self.total_packets = 0
         self.total_bytes = 0
         self.first_ts: float | None = None
@@ -101,17 +120,45 @@ class RateMeter:
             return 0.0
         return self.last_ts - self.first_ts
 
-    def bits_per_second(self, window: float | None = None) -> float:
+    def _effective_span(
+        self, window: float | None, min_window_s: float | None
+    ) -> float:
         span = window if window is not None else self.span
+        if span <= 0:
+            fallback = (
+                min_window_s if min_window_s is not None else self.min_window_s
+            )
+            # Only fall back when something was actually observed: an
+            # untouched meter still reads 0, never a phantom rate.
+            if fallback is not None and fallback > 0 and self.total_packets:
+                return fallback
+            return 0.0
+        return span
+
+    def bits_per_second(
+        self, window: float | None = None, min_window_s: float | None = None
+    ) -> float:
+        span = self._effective_span(window, min_window_s)
         if span <= 0:
             return 0.0
         return self.total_bytes * 8 / span
 
-    def packets_per_second(self, window: float | None = None) -> float:
-        span = window if window is not None else self.span
+    def packets_per_second(
+        self, window: float | None = None, min_window_s: float | None = None
+    ) -> float:
+        span = self._effective_span(window, min_window_s)
         if span <= 0:
             return 0.0
         return self.total_packets / span
+
+    def metric_values(self) -> dict[str, float]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        return {
+            "packets": self.total_packets,
+            "bytes": self.total_bytes,
+            "span_s": self.span,
+            "bits_per_second": self.bits_per_second(),
+        }
 
 
 class Histogram:
@@ -156,6 +203,14 @@ class Histogram:
         return math.inf  # pragma: no cover - unreachable
 
     def snapshot(self) -> dict[str, float]:
+        return {
+            "total": self.total,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+    def metric_values(self) -> dict[str, float]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
         return {
             "total": self.total,
             "p50": self.percentile(50),

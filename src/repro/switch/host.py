@@ -61,3 +61,12 @@ class Host:
 
     def clear(self) -> None:
         self.received.clear()
+
+    def metric_values(self) -> dict[str, float]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        values: dict[str, float] = {}
+        for key, value in self.rx_meter.metric_values().items():
+            values[f"rx.{key}"] = value
+        for key, value in self.port.metric_values().items():
+            values[f"nic.{key}"] = value
+        return values

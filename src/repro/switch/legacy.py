@@ -11,6 +11,7 @@ drop-in upgrade story.
 
 from __future__ import annotations
 
+from .._util import warn_deprecated
 from ..core.module import FlexSFPModule
 from ..errors import ConfigError, SimulationError
 from ..packet import Packet
@@ -139,7 +140,8 @@ class LegacySwitch:
     def mac_table(self) -> dict[int, int]:
         return dict(self._mac_table)
 
-    def stats(self) -> dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
+        """Structured counter snapshot (stable legacy dict layout)."""
         return {
             "forwarded": self.forwarded.snapshot(),
             "flooded": self.flooded.snapshot(),
@@ -149,3 +151,31 @@ class LegacySwitch:
                 i for i, cage in enumerate(self.cages) if cage.module is not None
             ],
         }
+
+    def stats(self) -> dict[str, object]:
+        """Deprecated alias for :meth:`snapshot`."""
+        warn_deprecated("LegacySwitch.stats()", "LegacySwitch.snapshot()")
+        return self.snapshot()
+
+    def metric_values(self) -> dict[str, object]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        values: dict[str, object] = {}
+        for group, counter in (
+            ("forwarded", self.forwarded),
+            ("flooded", self.flooded),
+            ("filtered", self.filtered),
+        ):
+            for key, value in counter.metric_values().items():
+                values[f"{group}.{key}"] = value
+        values["mac_entries"] = len(self._mac_table)
+        values["flexsfp_ports"] = sum(
+            1 for cage in self.cages if cage.module is not None
+        )
+        return values
+
+    def register_metrics(self, registry) -> None:
+        """Publish the switch and every seated module into a registry."""
+        registry.register(self.name, self)
+        for cage in self.cages:
+            if cage.module is not None:
+                cage.module.register_metrics(registry)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .._util import warn_deprecated
 from ..apps import create_app
 from ..core.module import FlexSFPModule
 from ..core.shells import ShellKind, ShellSpec
@@ -59,8 +60,19 @@ class RetrofitResult:
         """First-order power bill of the upgrade (per-module FlexSFP draw)."""
         return per_module_w * len(self.modules)
 
+    def snapshot(self) -> dict[int, dict]:
+        """Per-port module snapshots (stable legacy dict layout)."""
+        return {port: module.snapshot() for port, module in self.modules.items()}
+
     def stats(self) -> dict[int, dict]:
-        return {port: module.stats() for port, module in self.modules.items()}
+        """Deprecated alias for :meth:`snapshot`."""
+        warn_deprecated("RetrofitResult.stats()", "RetrofitResult.snapshot()")
+        return self.snapshot()
+
+    def register_metrics(self, registry) -> None:
+        """Publish every deployed module into a registry."""
+        for module in self.modules.values():
+            module.register_metrics(registry)
 
 
 def apply_retrofit(

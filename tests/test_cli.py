@@ -1,5 +1,7 @@
 """The flexsfp command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -9,6 +11,11 @@ def run(capsys, *argv):
     code = main(list(argv))
     captured = capsys.readouterr()
     return code, captured.out, captured.err
+
+
+def run_json(capsys, *argv):
+    code, out, _ = run(capsys, *argv, "--json")
+    return code, json.loads(out)
 
 
 class TestListing:
@@ -108,6 +115,84 @@ class TestAnalysis:
         )
         assert code == 0
         assert "no lanes" in out and "QSFP-DD" in out
+
+
+class TestJsonOutput:
+    """--json swaps the table renderer for schema-tagged documents."""
+
+    def test_apps_json(self, capsys):
+        code, doc = run_json(capsys, "apps")
+        assert code == 0
+        assert doc["schema"] == "flexsfp.table/1"
+        assert doc["title"] == "apps"
+        assert doc["columns"] == ["application", "chain", "stages", "description"]
+        assert any(row[0] == "nat" for row in doc["rows"])
+
+    def test_build_json(self, capsys):
+        code, doc = run_json(capsys, "build", "nat")
+        assert code == 0
+        assert doc["app"] == "nat" and doc["device"] == "MPF200T"
+        assert doc["clock_mhz"] == pytest.approx(156.25)
+        assert doc["fits"] is True and doc["meets_timing"] is True
+        assert set(doc["utilization"]) >= {"4lut"} or doc["utilization"]
+
+    def test_build_json_failure_exit_code(self, capsys):
+        code, doc = run_json(
+            capsys, "build", "nat", "--shell", "two-way-core", "--clock", "156.25"
+        )
+        assert code == 1
+        assert doc["meets_timing"] is False
+
+    def test_bom_json_totals(self, capsys):
+        code, doc = run_json(capsys, "bom")
+        assert code == 0
+        assert doc["units"] == 1_000
+        assert 0 < doc["total_low_usd"] < doc["total_high_usd"]
+
+    def test_scale_json(self, capsys):
+        code, doc = run_json(capsys, "scale", "10")
+        assert code == 0 and doc["feasible"] is True
+        assert doc["rows"][0][1] == 64  # 64 b datapath
+
+    def test_scale_json_infeasible(self, capsys):
+        code, doc = run_json(capsys, "scale", "400")
+        assert code == 1
+        assert doc["feasible"] is False and doc["rows"] == []
+
+    def test_chaos_json(self, capsys):
+        code, doc = run_json(capsys, "chaos", "smoke", "--seed", "3")
+        assert code == 0
+        assert doc["plan"] == "smoke" and doc["seed"] == 3
+        assert doc["events"], "fault plan events missing"
+        assert doc["result"]["packets_sent"] > 0
+
+    def test_metrics_json(self, capsys):
+        code, doc = run_json(capsys, "metrics")
+        assert code == 0
+        assert doc["schema"] == "flexsfp.metrics/1"
+        assert "module0.ppe.nat.processed.packets" in doc["metrics"]
+
+    def test_metrics_prometheus_default(self, capsys):
+        code, out, _ = run(capsys, "metrics")
+        assert code == 0
+        assert "# TYPE flexsfp_" in out
+        assert "flexsfp_module0_ppe_nat_processed_packets" in out
+
+    def test_trace_jsonl_default(self, capsys):
+        code, out, _ = run(capsys, "trace", "--packets", "1")
+        assert code == 0
+        spans = [json.loads(line) for line in out.strip().splitlines()]
+        # nat-chain: one packet crosses the 5-stage pipeline twice.
+        assert len(spans) == 10
+        assert spans[0]["stage"] == "mac.rx"
+
+    def test_trace_json_document(self, capsys):
+        code, doc = run_json(
+            capsys, "trace", "--scenario", "nat-linerate", "--packets", "2"
+        )
+        assert code == 0
+        assert doc["schema"] == "flexsfp.trace/1"
+        assert len(doc["spans"]) == 10
 
 
 class TestParser:

@@ -94,7 +94,7 @@ def run_app(name: str, fastpath: bool, batch_size: int) -> tuple[dict, object]:
     )
     sim.run(until=RUN_S + 0.2e-3)
     return {
-        "verdicts": dict(module.ppe.stats()["verdicts"]),
+        "verdicts": dict(module.ppe.snapshot()["verdicts"]),
         "processed": module.ppe.processed.snapshot(),
         "overload_drops": module.ppe.overload_drops.snapshot(),
         "latency_ns": module.ppe.latency_ns.snapshot(),
@@ -118,7 +118,7 @@ def test_fastpath_matches_reference(name):
     # ...and for recipe-producing apps the cache demonstrably engaged.
     if name in CACHED_APPS:
         assert cache.hits > 0, f"{name}: flow cache never hit"
-        assert cache.hit_rate > 0.2, f"{name}: {cache.stats()}"
+        assert cache.hit_rate > 0.2, f"{name}: {cache.snapshot()}"
 
 
 def test_batching_alone_matches_reference():

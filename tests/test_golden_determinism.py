@@ -27,14 +27,31 @@ KEY = b"golden-key"
 RUN_S = 0.2e-3
 
 
-def nat_linerate_stats(fastpath: bool, batch_size: int) -> bytes:
-    """Quick config of the §5.1 NAT line-rate scenario, stats as JSON."""
+def nat_linerate_stats(
+    fastpath: bool, batch_size: int, observe: str | None = None
+) -> bytes:
+    """Quick config of the §5.1 NAT line-rate scenario, stats as JSON.
+
+    ``observe`` optionally attaches the observability layer: ``"registry"``
+    registers every component into a MetricsRegistry (collection is pull-
+    based and must not perturb anything); ``"tracer-off"`` additionally
+    attaches a Tracer whose sampling limit is 0, so the tracing hooks run
+    their ``is not None`` guards but admit no packet.
+    """
     sim = Simulator()
     nat = StaticNat(capacity=1024)
     nat.add_mapping("10.0.0.1", "198.51.100.1")
     module = FlexSFPModule(
         sim, "dut", nat, auth_key=KEY, fastpath=fastpath, batch_size=batch_size
     )
+    if observe is not None:
+        from repro.obs import MetricsRegistry, Tracer
+
+        registry = MetricsRegistry()
+        module.register_metrics(registry)
+        if observe == "tracer-off":
+            module.attach_tracer(Tracer(limit=0))
+        registry.collect()
     host = Port(
         sim, "host", 10e9, queue_bytes=1 << 20, coalesce=batch_size > 1
     )
@@ -55,7 +72,7 @@ def nat_linerate_stats(fastpath: bool, batch_size: int) -> bytes:
     )
     sim.run(until=RUN_S + 0.1e-3)
     stats = {
-        "ppe": module.ppe.stats(),
+        "ppe": module.ppe.snapshot(),
         "app": module.app.counters_snapshot(),
         "delivered": fiber.rx.snapshot(),
         "edge_drops": module.edge_port.drops.snapshot(),
@@ -74,6 +91,28 @@ class TestGoldenDeterminism:
         first = nat_linerate_stats(fastpath=True, batch_size=16)
         second = nat_linerate_stats(fastpath=True, batch_size=16)
         assert first == second
+
+    def test_observability_off_reference_engine_byte_identical(self):
+        baseline = nat_linerate_stats(fastpath=False, batch_size=1)
+        registered = nat_linerate_stats(
+            fastpath=False, batch_size=1, observe="registry"
+        )
+        tracer_off = nat_linerate_stats(
+            fastpath=False, batch_size=1, observe="tracer-off"
+        )
+        assert registered == baseline
+        assert tracer_off == baseline
+
+    def test_observability_off_fastpath_engine_byte_identical(self):
+        baseline = nat_linerate_stats(fastpath=True, batch_size=16)
+        registered = nat_linerate_stats(
+            fastpath=True, batch_size=16, observe="registry"
+        )
+        tracer_off = nat_linerate_stats(
+            fastpath=True, batch_size=16, observe="tracer-off"
+        )
+        assert registered == baseline
+        assert tracer_off == baseline
 
     def test_chaos_gauntlet_quick_config(self):
         runs = [

@@ -198,7 +198,7 @@ class TestReboot:
 
     def test_stats_shape(self, sim):
         module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
-        stats = module.stats()
+        stats = module.snapshot()
         assert stats["app"] == "passthrough"
         assert stats["shell"] == "one-way-filter"
 

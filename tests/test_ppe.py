@@ -143,6 +143,6 @@ class TestQueueing:
 
     def test_stats_shape(self, sim):
         engine, _ = run_one(sim, EchoApp())
-        stats = engine.stats()
+        stats = engine.snapshot()
         assert stats["processed"]["packets"] == 1
         assert "verdicts" in stats and "latency_ns" in stats

@@ -67,6 +67,41 @@ class TestRateMeter:
         assert meter.bits_per_second() == 0.0
         assert meter.span == 0.0
 
+    def test_single_observation_regression(self):
+        """One observation has zero span: min_window_s supplies the window.
+
+        Regression: single-packet flows used to report 0.0 bits/s even
+        though bytes were delivered.
+        """
+        meter = RateMeter(min_window_s=0.5)
+        meter.observe(3.0, 1250)
+        assert meter.bits_per_second() == pytest.approx(20_000)
+        assert meter.packets_per_second() == pytest.approx(2.0)
+
+    def test_single_observation_per_call_override(self):
+        meter = RateMeter()
+        meter.observe(0.0, 1250)
+        assert meter.bits_per_second() == 0.0  # no fallback configured
+        assert meter.bits_per_second(min_window_s=1.0) == pytest.approx(10_000)
+
+    def test_min_window_never_invents_rate_on_empty_meter(self):
+        meter = RateMeter(min_window_s=1.0)
+        assert meter.bits_per_second() == 0.0
+        assert meter.packets_per_second(min_window_s=0.1) == 0.0
+
+    def test_min_window_ignored_when_span_is_real(self):
+        meter = RateMeter(min_window_s=100.0)
+        meter.observe(0.0, 1250)
+        meter.observe(1.0, 1250)
+        assert meter.bits_per_second() == pytest.approx(20_000)
+
+    def test_metric_values(self):
+        meter = RateMeter(min_window_s=1.0)
+        meter.observe(0.0, 1250)
+        values = meter.metric_values()
+        assert values["packets"] == 1 and values["bytes"] == 1250
+        assert values["bits_per_second"] == pytest.approx(10_000)
+
 
 class TestHistogram:
     def test_bucketing_and_percentiles(self):

@@ -104,7 +104,7 @@ class TestDegradedPassthrough:
         sim.run(until=1.0)
         assert module.degraded
         assert module.failed_boots == 1
-        assert module.stats()["degraded"] is True
+        assert module.snapshot()["degraded"] is True
 
     def test_degraded_forwards_both_directions(self, sim):
         """Acceptance: both-slots-corrupt module still forwards line<->edge."""
@@ -133,7 +133,7 @@ class TestDegradedPassthrough:
         # Forwarded after exactly the transceiver latency (plus egress
         # serialization, which the meta stamp predates).
         assert ingress_ns == pytest.approx(start * 1e9, abs=1e3)
-        assert module.stats()["degraded_forwarded"]["packets"] == 1
+        assert module.snapshot()["degraded_forwarded"]["packets"] == 1
 
     def test_degraded_hello_reports_degraded(self, sim):
         module = self._degrade(sim)
@@ -186,7 +186,7 @@ class TestSoftcoreWatchdog:
         assert module.control_plane.responsive
         assert module.watchdog_reboots == 1
         assert module.reboots == 1
-        assert module.stats()["watchdog_reboots"] == 1
+        assert module.snapshot()["watchdog_reboots"] == 1
 
     def test_hang_recovers_without_reboot(self, sim):
         module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
