@@ -1,0 +1,64 @@
+"""Static analysis for the FlexSFP build flow and for the repo itself.
+
+Three analyzers share one :class:`Finding` model:
+
+* :mod:`~repro.analysis.irverify` — semantic checks over pipeline IR.
+* :mod:`~repro.analysis.xdpcheck` — AST analysis of XDP packet functions.
+* :mod:`~repro.analysis.simlint` — a determinism linter over sim-critical
+  source (protecting the golden-determinism guarantees).
+
+:func:`check_app` is the aggregate entry point the compiler
+(``verify=True``) and the ``flexsfp check`` CLI subcommand both use.
+"""
+
+from __future__ import annotations
+
+from ..core.shells import ShellSpec
+from ..fpga.resources import FPGADevice, MPF200T
+from ..hls.xdp import XdpProgram
+from .findings import (
+    Finding,
+    Severity,
+    errors,
+    severity_counts,
+    sort_findings,
+    warnings,
+)
+from .irverify import verify_pipeline
+from .simlint import default_lint_root, lint_file, lint_paths, lint_source
+from .xdpcheck import check_program, scan_source_file
+
+
+def check_app(
+    app,
+    device: FPGADevice = MPF200T,
+    shell: ShellSpec | None = None,
+) -> list[Finding]:
+    """All static findings for one application: XDP analysis + IR verify."""
+    findings: list[Finding] = []
+    rewrites = None
+    if isinstance(app, XdpProgram):
+        findings += check_program(app)
+        rewrites = list(app.rewrites)
+    findings += verify_pipeline(
+        app.pipeline_spec(), device=device, shell=shell, rewrites=rewrites
+    )
+    return sort_findings(findings)
+
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "check_app",
+    "check_program",
+    "default_lint_root",
+    "errors",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "scan_source_file",
+    "severity_counts",
+    "sort_findings",
+    "verify_pipeline",
+    "warnings",
+]

@@ -1,0 +1,260 @@
+"""Repo-wide determinism linter for the simulation source tree.
+
+The golden-determinism suite promises that identical seeds reproduce every
+statistic byte-for-byte.  That guarantee is easy to break silently: one
+wall-clock read, one module-level ``random.*`` call, or one ``set``
+iterated into ordered output reintroduces nondeterminism that the tests
+may only catch intermittently.  This linter walks the ASTs of sim-critical
+source and flags the constructs that history shows cause exactly that:
+
+* ``det-wallclock`` — ``time.time()`` & friends, ``datetime.now()``.
+* ``det-unseeded-random`` — ``random.Random()`` with no seed.
+* ``det-global-random`` — module-level ``random.*`` calls (shared global
+  RNG state couples independent components).
+* ``det-set-order`` — iterating a set (or ``set()`` result) straight into
+  ordered output; Python set order varies with hash seeding and history.
+* ``det-id-order`` — ordering by ``id()``: address-dependent and
+  unreproducible across runs.
+
+Intentional uses are suppressed inline::
+
+    start = perf_counter()  # flexsfp: allow(det-wallclock)
+
+A bare ``# flexsfp: allow`` suppresses every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from .findings import Finding, Severity, sort_findings
+
+_ALLOW_RE = re.compile(r"#\s*flexsfp:\s*allow(?:\(([^)]*)\))?")
+
+_WALLCLOCK_TIME_FNS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_SET_PRODUCERS = frozenset({"set", "frozenset"})
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter", "next"})
+_ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+
+
+def default_lint_root() -> Path:
+    """The sim-critical source tree: the installed ``repro`` package."""
+    return Path(__file__).resolve().parent.parent
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    def __init__(self, filename: str, source: str) -> None:
+        self.filename = filename
+        self.lines = source.splitlines()
+        self.findings: list[Finding] = []
+        # Bare names bound by `from time import perf_counter` etc.
+        self.time_names: set[str] = set()
+        self.datetime_names: set[str] = set()
+        self.random_fn_names: set[str] = set()
+        self.random_class_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _suppressed(self, line: int, rule: str) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _ALLOW_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        listed = match.group(1)
+        if listed is None or not listed.strip():
+            return True
+        return rule in {item.strip() for item in listed.split(",")}
+
+    def _add(self, rule: str, line: int, message: str, hint: str = "") -> None:
+        if self._suppressed(line, rule):
+            return
+        self.findings.append(
+            Finding(
+                rule,
+                Severity.ERROR,
+                f"{self.filename}:{line}",
+                message,
+                hint,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "time" and alias.name in _WALLCLOCK_TIME_FNS:
+                self.time_names.add(bound)
+            elif node.module == "datetime" and alias.name == "datetime":
+                self.datetime_names.add(bound)
+            elif node.module == "random":
+                if alias.name == "Random":
+                    self.random_class_names.add(bound)
+                else:
+                    self.random_fn_names.add(bound)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def _is_set_expr(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in _SET_PRODUCERS
+        )
+
+    def _flag_set_iteration(self, expr: ast.expr, context: str) -> None:
+        if self._is_set_expr(expr):
+            self._add(
+                "det-set-order",
+                expr.lineno,
+                f"{context} iterates a set; iteration order is "
+                "hash-seed-dependent",
+                "wrap in sorted(...) before it feeds ordered output",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_set_iteration(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._flag_set_iteration(node.iter, "comprehension")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._visit_name_call(node, func.id)
+        elif isinstance(func, ast.Attribute):
+            self._visit_attribute_call(node, func)
+        self.generic_visit(node)
+
+    def _visit_name_call(self, node: ast.Call, name: str) -> None:
+        if name in self.time_names:
+            self._add(
+                "det-wallclock",
+                node.lineno,
+                f"{name}() reads the wall clock inside sim-critical code",
+                "use the simulator's virtual time",
+            )
+        elif name in self.random_fn_names:
+            self._add(
+                "det-global-random",
+                node.lineno,
+                f"{name}() draws from the shared module-level RNG",
+                "draw from a seeded random.Random instance",
+            )
+        elif name in self.random_class_names or name == "Random":
+            if name in self.random_class_names and not node.args and not node.keywords:
+                self._add(
+                    "det-unseeded-random",
+                    node.lineno,
+                    "Random() without a seed is seeded from the OS",
+                    "pass an explicit seed: Random(seed)",
+                )
+        elif name in _ORDERED_CONSUMERS and node.args:
+            self._flag_set_iteration(node.args[0], f"{name}()")
+        elif name in _ORDERING_CALLS:
+            self._check_id_ordering(node)
+
+    def _visit_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        if not isinstance(func.value, ast.Name):
+            if func.attr == "sort":
+                self._check_id_ordering(node)
+            return
+        root, attr = func.value.id, func.attr
+        if root == "time" and attr in _WALLCLOCK_TIME_FNS:
+            self._add(
+                "det-wallclock",
+                node.lineno,
+                f"time.{attr}() reads the wall clock inside sim-critical code",
+                "use the simulator's virtual time",
+            )
+        elif root == "datetime" and attr in _WALLCLOCK_DATETIME_FNS:
+            self._add(
+                "det-wallclock",
+                node.lineno,
+                f"datetime.{attr}() reads the wall clock inside sim-critical code",
+                "use the simulator's virtual time",
+            )
+        elif root == "random":
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    self._add(
+                        "det-unseeded-random",
+                        node.lineno,
+                        "random.Random() without a seed is seeded from the OS",
+                        "pass an explicit seed: random.Random(seed)",
+                    )
+            else:
+                self._add(
+                    "det-global-random",
+                    node.lineno,
+                    f"random.{attr}() draws from the shared module-level RNG",
+                    "draw from a seeded random.Random instance",
+                )
+        elif attr == "sort":
+            self._check_id_ordering(node)
+        elif root in self.datetime_names and attr in _WALLCLOCK_DATETIME_FNS:
+            self._add(
+                "det-wallclock",
+                node.lineno,
+                f"{root}.{attr}() reads the wall clock inside sim-critical code",
+                "use the simulator's virtual time",
+            )
+
+    def _check_id_ordering(self, node: ast.Call) -> None:
+        """Flag id() used anywhere inside a sorting/ordering call."""
+        for sub in ast.walk(node):
+            if sub is node:
+                continue
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"
+            ):
+                self._add(
+                    "det-id-order",
+                    sub.lineno,
+                    "ordering by id(): object addresses vary run to run",
+                    "order by a stable field (name, index, key)",
+                )
+
+
+def lint_source(source: str, filename: str) -> list[Finding]:
+    """Lint one module's source text."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="det-syntax",
+                severity=Severity.ERROR,
+                location=f"{filename}:{exc.lineno or 0}",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    linter = _ModuleLinter(filename, source)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path))
+
+
+def lint_paths(paths: list[str | Path] | None = None) -> list[Finding]:
+    """Lint every ``*.py`` file under the given paths (default: repro)."""
+    roots = [Path(p) for p in paths] if paths else [default_lint_root()]
+    findings: list[Finding] = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings += lint_file(file)
+    return sort_findings(findings)

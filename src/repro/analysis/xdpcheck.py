@@ -1,0 +1,505 @@
+"""Static analysis of XDP packet functions: the compile-time twin of
+:meth:`XdpProgram.lint`.
+
+Where the runtime lint observes what a program *did* touch, this analyzer
+inspects the Python AST of the program's ``func`` to reject what it *could*
+do — before a single packet is processed, matching the hXDP/P4 toolchain
+philosophy of ahead-of-time verification (§4.2):
+
+* ``xdp-loop`` — ``while`` loops (and ``for`` over anything but a
+  constant ``range``) cannot be unrolled into pipeline stages.
+* ``xdp-recursion`` — no call stack in hardware.
+* ``xdp-float`` — no floating-point units in the datapath.
+* ``xdp-wallclock`` — wall-clock reads break determinism; hardware has
+  ``ctx.now_ns()``.
+* ``xdp-random`` — no entropy source in the PPE.
+* ``xdp-try`` — no exception unwinding in hardware.
+* ``xdp-alloc`` — dynamic allocation in the per-packet hot path does not
+  synthesize; state belongs in declared :class:`XdpMap` storage.
+* ``xdp-undeclared-map`` / ``xdp-unused-map`` — map accesses must match
+  the declared map list that sizes the table stages.
+* ``xdp-undeclared-header`` / ``xdp-undeclared-rewrite`` — header touches
+  and field rewrites must be covered by ``parses`` / ``rewrites`` so the
+  parser and action units are sized correctly.
+* ``xdp-verdict`` — every path must return an :class:`XdpVerdict`.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from pathlib import Path
+
+from ..hls.xdp import XdpMap, XdpProgram
+from ..packet import IPv4, IPv6, TCP, UDP, Ethernet
+from .findings import Finding, Severity, sort_findings
+
+_CTX_HEADER_PROPS: dict[str, type] = {
+    "eth": Ethernet,
+    "ipv4": IPv4,
+    "ipv6": IPv6,
+    "tcp": TCP,
+    "udp": UDP,
+}
+
+_WALLCLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_WALLCLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+_WALLCLOCK_BARE_NAMES = frozenset({"perf_counter", "monotonic", "time_ns"})
+_ALLOC_BUILTINS = frozenset({"list", "dict", "set", "bytearray"})
+_MAP_METHODS = frozenset({"lookup", "update", "delete"})
+
+
+def _function_ast(func) -> ast.FunctionDef | ast.Lambda | None:
+    """The AST node of ``func``, or ``None`` when source is unavailable."""
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError):
+        return None
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        # Lambdas embedded mid-expression may not dedent into a valid
+        # module; wrap in parentheses as a fallback.
+        try:
+            tree = ast.parse(f"({source.strip().rstrip(',')})")
+        except SyntaxError:
+            return None
+    name = getattr(func, "__name__", "")
+    if name and name != "<lambda>":
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Lambda):
+            return node
+    return None
+
+
+def _resolved_names(func) -> dict[str, object]:
+    """Name → object bindings visible to ``func`` (globals + closure)."""
+    try:
+        closure = inspect.getclosurevars(func)
+    except (TypeError, ValueError):
+        return dict(getattr(func, "__globals__", {}))
+    names: dict[str, object] = dict(closure.globals)
+    names.update(closure.nonlocals)
+    return names
+
+
+def _ctx_arg_name(node: ast.FunctionDef | ast.Lambda) -> str | None:
+    args = node.args.args
+    return args[0].arg if args else None
+
+
+def _is_constant_range(call: ast.expr) -> bool:
+    return (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "range"
+        and all(
+            isinstance(a, ast.Constant) and isinstance(a.value, int)
+            for a in call.args
+        )
+        and not call.keywords
+    )
+
+
+def _always_returns_value(body: list[ast.stmt]) -> bool:
+    """True when every path through ``body`` returns a value or raises."""
+    for stmt in body:
+        if isinstance(stmt, ast.Return):
+            return stmt.value is not None
+        if isinstance(stmt, ast.Raise):
+            return True
+        if isinstance(stmt, ast.If):
+            if (
+                stmt.orelse
+                and _always_returns_value(stmt.body)
+                and _always_returns_value(stmt.orelse)
+            ):
+                return True
+        if isinstance(stmt, ast.With) and _always_returns_value(stmt.body):
+            return True
+        if isinstance(stmt, ast.Match):
+            cases = stmt.cases
+            exhaustive = any(
+                isinstance(c.pattern, ast.MatchAs) and c.pattern.pattern is None
+                for c in cases
+            )
+            if exhaustive and all(_always_returns_value(c.body) for c in cases):
+                return True
+    return False
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """One pass over a packet function's AST, collecting findings."""
+
+    def __init__(
+        self,
+        node: ast.FunctionDef | ast.Lambda,
+        location: str,
+        program: XdpProgram | None = None,
+        names: dict[str, object] | None = None,
+    ) -> None:
+        self.node = node
+        self.location = location
+        self.program = program
+        self.names = names or {}
+        self.ctx_name = _ctx_arg_name(node)
+        self.func_name = getattr(node, "name", None)
+        self.findings: list[Finding] = []
+        self.accessed_maps: set[str] = set()
+        self._header_vars: dict[str, type] = {}
+
+    # ------------------------------------------------------------------
+    def _add(self, rule: str, severity: Severity, line: int, message: str,
+             hint: str = "") -> None:
+        self.findings.append(
+            Finding(rule, severity, f"{self.location}:{line}", message, hint)
+        )
+
+    def run(self) -> list[Finding]:
+        self._collect_header_vars()
+        if isinstance(self.node, ast.Lambda):
+            self.visit(self.node.body)
+        else:
+            for stmt in self.node.body:
+                self.visit(stmt)
+            if not _always_returns_value(self.node.body):
+                self._add(
+                    "xdp-verdict",
+                    Severity.ERROR,
+                    self.node.lineno,
+                    "not every path returns an XdpVerdict",
+                    "end every branch with `return XdpVerdict.XDP_*`",
+                )
+        self._check_unused_maps()
+        return self.findings
+
+    # ------------------------------------------------------------------
+    def _collect_header_vars(self) -> None:
+        """First pass: `name = ctx.ipv4` style bindings → header types."""
+        for sub in ast.walk(self.node):
+            if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                continue
+            target = sub.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            header = self._header_type_of(sub.value)
+            if header is None:
+                continue
+            known = self._header_vars.get(target.id)
+            if known is not None and known is not header:
+                self._header_vars[target.id] = None  # type: ignore[assignment]
+            else:
+                self._header_vars[target.id] = header
+
+    def _header_type_of(self, expr: ast.expr) -> type | None:
+        """The header type an expression evaluates to, if statically known."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == self.ctx_name
+        ):
+            return _CTX_HEADER_PROPS.get(expr.attr)
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id == self.ctx_name
+            and expr.func.attr == "header"
+            and expr.args
+            and isinstance(expr.args[0], ast.Name)
+        ):
+            resolved = self.names.get(expr.args[0].id)
+            return resolved if isinstance(resolved, type) else None
+        if isinstance(expr, ast.Name):
+            return self._header_vars.get(expr.id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Hardware-unrepresentable constructs
+    # ------------------------------------------------------------------
+    def visit_While(self, node: ast.While) -> None:
+        self._add(
+            "xdp-loop",
+            Severity.ERROR,
+            node.lineno,
+            "`while` loops cannot be unrolled into pipeline stages",
+            "restructure as per-packet state in an XdpMap",
+        )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if not _is_constant_range(node.iter):
+            self._add(
+                "xdp-loop",
+                Severity.WARNING,
+                node.lineno,
+                "`for` over a non-constant iterable has no static bound",
+                "iterate over `range(<constant>)` so the loop can unroll",
+            )
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self._add(
+            "xdp-try",
+            Severity.ERROR,
+            node.lineno,
+            "try/except has no hardware equivalent",
+            "test preconditions explicitly and return a verdict",
+        )
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, float):
+            self._add(
+                "xdp-float",
+                Severity.ERROR,
+                node.lineno,
+                f"float constant {node.value!r}: the datapath is integer-only",
+                "scale to integer units (e.g. nanoseconds, 1/1024ths)",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Div):
+            self._add(
+                "xdp-float",
+                Severity.ERROR,
+                node.lineno,
+                "true division produces floats; the datapath is integer-only",
+                "use `//` (synthesizes to a shift for powers of two)",
+            )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is None and not isinstance(self.node, ast.Lambda):
+            self._add(
+                "xdp-verdict",
+                Severity.ERROR,
+                node.lineno,
+                "bare `return` leaves the PPE without a verdict",
+                "return an explicit XdpVerdict",
+            )
+        self.generic_visit(node)
+
+    def _visit_alloc(self, node: ast.expr, what: str) -> None:
+        self._add(
+            "xdp-alloc",
+            Severity.WARNING,
+            node.lineno,
+            f"{what} allocates per packet in the hot path",
+            "keep per-flow state in a declared XdpMap",
+        )
+
+    def visit_List(self, node: ast.List) -> None:
+        self._visit_alloc(node, "list literal")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._visit_alloc(node, "dict literal")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._visit_alloc(node, "set literal")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_alloc(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_alloc(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_alloc(node, "dict comprehension")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if self.func_name and func.id == self.func_name:
+                self._add(
+                    "xdp-recursion",
+                    Severity.ERROR,
+                    node.lineno,
+                    f"recursive call to {self.func_name!r}: no call stack in hardware",
+                    "unroll or restructure iteratively over map state",
+                )
+            if func.id in _ALLOC_BUILTINS:
+                self._visit_alloc(node, f"{func.id}() call")
+            if func.id in _WALLCLOCK_BARE_NAMES:
+                self._wallclock(node, func.id)
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            root, attr = func.value.id, func.attr
+            if root == "time" and attr in _WALLCLOCK_TIME_ATTRS:
+                self._wallclock(node, f"time.{attr}")
+            elif root == "datetime" and attr in _WALLCLOCK_DATETIME_ATTRS:
+                self._wallclock(node, f"datetime.{attr}")
+            elif root == "random":
+                self._add(
+                    "xdp-random",
+                    Severity.ERROR,
+                    node.lineno,
+                    f"random.{attr}(): the PPE has no entropy source",
+                    "derive pseudo-randomness from a packet-field hash",
+                )
+            elif attr in _MAP_METHODS:
+                self._check_map_access(node, root, attr)
+            elif root == self.ctx_name and attr == "rewrite":
+                self._check_rewrite(node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == self.ctx_name
+            and node.attr in _CTX_HEADER_PROPS
+        ):
+            self._check_header_touch(node, _CTX_HEADER_PROPS[node.attr])
+        self.generic_visit(node)
+
+    def _wallclock(self, node: ast.Call, what: str) -> None:
+        self._add(
+            "xdp-wallclock",
+            Severity.ERROR,
+            node.lineno,
+            f"{what}() reads the wall clock; hardware time is virtual",
+            f"use `{self.ctx_name or 'ctx'}.now_ns()`",
+        )
+
+    # ------------------------------------------------------------------
+    # Declaration cross-checks (need a program)
+    # ------------------------------------------------------------------
+    def _check_map_access(self, node: ast.Call, name: str, method: str) -> None:
+        resolved = self.names.get(name)
+        if not isinstance(resolved, XdpMap):
+            return
+        self.accessed_maps.add(resolved.name)
+        if self.program is not None and resolved not in self.program.maps:
+            self._add(
+                "xdp-undeclared-map",
+                Severity.ERROR,
+                node.lineno,
+                f"{name}.{method}() accesses map {resolved.name!r} which is "
+                "not in the program's declared maps",
+                "pass the map in XdpProgram(maps=[...]) so it is synthesized",
+            )
+
+    def _check_unused_maps(self) -> None:
+        if self.program is None:
+            return
+        for declared in self.program.maps:
+            if declared.name not in self.accessed_maps:
+                self._add(
+                    "xdp-unused-map",
+                    Severity.WARNING,
+                    getattr(self.node, "lineno", 1),
+                    f"declared map {declared.name!r} is never accessed; it "
+                    "still occupies table memory",
+                    "drop the declaration or use the map",
+                )
+
+    def _check_header_touch(self, node: ast.Attribute, header: type) -> None:
+        if self.program is None or header in self.program.parses:
+            return
+        self._add(
+            "xdp-undeclared-header",
+            Severity.ERROR,
+            node.lineno,
+            f"touches {header.__name__} but `parses` does not declare it; "
+            "the synthesized parser would not extract it",
+            f"add {header.__name__} to XdpProgram(parses=...)",
+        )
+
+    def _check_rewrite(self, node: ast.Call) -> None:
+        if self.program is None or len(node.args) < 2:
+            return
+        header = self._header_type_of(node.args[0])
+        field_node = node.args[1]
+        if header is None or not (
+            isinstance(field_node, ast.Constant) and isinstance(field_node.value, str)
+        ):
+            return
+        pair = (header, field_node.value)
+        if pair not in self.program.rewrites:
+            self._add(
+                "xdp-undeclared-rewrite",
+                Severity.ERROR,
+                node.lineno,
+                f"rewrites {header.__name__}.{field_node.value} but `rewrites` "
+                "does not declare it; the action unit would be undersized",
+                f"add ({header.__name__}, {field_node.value!r}) to rewrites",
+            )
+
+
+def check_program(program: XdpProgram) -> list[Finding]:
+    """Statically analyze an :class:`XdpProgram`'s packet function."""
+    node = _function_ast(program.func)
+    if node is None:
+        return [
+            Finding(
+                rule="xdp-no-source",
+                severity=Severity.INFO,
+                location=program.name,
+                message="packet function source is unavailable; static "
+                "checks skipped (declaration checks still apply at runtime)",
+                hint="define the function in a regular module",
+            )
+        ]
+    checker = _FunctionChecker(
+        node,
+        location=program.name,
+        program=program,
+        names=_resolved_names(program.func),
+    )
+    return sort_findings(checker.run())
+
+
+def check_packet_function(
+    node: ast.FunctionDef, location: str
+) -> list[Finding]:
+    """Construct-only checks for a packet function found in source form.
+
+    Used by the examples scanner: no runtime program object exists, so
+    declaration cross-checks are skipped and only hardware-representability
+    rules run.
+    """
+    checker = _FunctionChecker(node, location=location)
+    return sort_findings(checker.run())
+
+
+def scan_source_file(path: str | Path) -> list[Finding]:
+    """Find XDP packet functions in a source file and analyze them.
+
+    A packet function is recognized by its first parameter being annotated
+    ``XdpContext`` (possibly qualified).  The file is parsed, never
+    imported, so scanning untrusted examples is safe.
+    """
+    path = Path(path)
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="xdp-syntax",
+                severity=Severity.ERROR,
+                location=f"{path.name}:{exc.lineno or 0}",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef) or not node.args.args:
+            continue
+        annotation = node.args.args[0].annotation
+        text = ast.unparse(annotation) if annotation is not None else ""
+        if not text.endswith("XdpContext"):
+            continue
+        findings += check_packet_function(node, f"{path.name}:{node.name}")
+    return sort_findings(findings)

@@ -12,6 +12,9 @@ exposes the toolkit's analysis surface without writing any code:
 * ``chaos PLAN`` — replay a named fault plan through the chaos gauntlet.
 * ``metrics`` — run an instrumented scenario, export its registry.
 * ``trace`` — per-packet stage spans through a scenario, as JSON Lines.
+* ``check`` — static verification: IR rules and XDP-program analysis over
+  applications and example sources, or (``--self``) the determinism
+  linter over the toolkit's own sim-critical source.
 
 Every subcommand accepts ``--json``: the human table renderer is swapped
 for a single canonical ``flexsfp.table/1`` (or metrics/trace-schema) JSON
@@ -23,7 +26,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
+from .analysis import (
+    check_app,
+    default_lint_root,
+    lint_paths,
+    scan_source_file,
+    severity_counts,
+    sort_findings,
+)
 from .apps import APP_FACTORIES, create_app
 from .core.shells import ControlPlaneClass, ShellKind, ShellSpec
 from .costmodel import FlexSfpBom, table3_rows
@@ -374,6 +386,50 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    findings = []
+    targets: list[str] = []
+    apps = list(args.apps)
+    examples_dir = args.examples
+    # Bare `flexsfp check` sweeps everything shippable: every registered
+    # application plus any XDP packet functions in ./examples.
+    if not apps and not args.self_lint and examples_dir is None:
+        apps = sorted(APP_FACTORIES)
+        if Path("examples").is_dir():
+            examples_dir = "examples"
+    if args.self_lint:
+        root = default_lint_root()
+        findings += lint_paths([root])
+        targets.append(f"self:{root}")
+    if apps:
+        device = get_device(args.device)
+        shell = _shell_from_args(args)
+        for name in apps:
+            findings += check_app(create_app(name), device=device, shell=shell)
+            targets.append(f"app:{name}")
+    if examples_dir is not None:
+        for path in sorted(Path(examples_dir).glob("*.py")):
+            findings += scan_source_file(path)
+            targets.append(f"example:{path}")
+    findings = sort_findings(findings)
+    counts = severity_counts(findings)
+    headers = ("severity", "rule", "location", "message", "hint")
+    rows = [finding.as_row() for finding in findings]
+    if args.json:
+        print(
+            table_json("check", headers, rows, counts=counts, targets=targets)
+        )
+        return 1 if counts["error"] else 0
+    if rows:
+        _print_rows(headers, rows)
+        print()
+    print(
+        f"checked {len(targets)} target(s): {counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['info']} info"
+    )
+    return 1 if counts["error"] else 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     run = run_scenario(
         args.scenario,
@@ -507,6 +563,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    check = sub.add_parser(
+        "check",
+        help="static verification: IR rules, XDP analysis, determinism lint",
+        parents=[common],
+    )
+    check.add_argument(
+        "apps",
+        nargs="*",
+        metavar="APP",
+        help="applications to verify (default: all, plus ./examples)",
+    )
+    check.add_argument(
+        "--self",
+        action="store_true",
+        dest="self_lint",
+        help="run the determinism linter over the repro source tree",
+    )
+    check.add_argument(
+        "--examples",
+        nargs="?",
+        const="examples",
+        default=None,
+        metavar="DIR",
+        help="scan a directory of example sources for XDP packet functions",
+    )
+    check.add_argument("--device", default="MPF200T")
+    check.add_argument("--shell", choices=sorted(_SHELLS), default="one-way-filter")
+    check.add_argument("--rate", type=float, default=10.0, help="line rate in Gbps")
+    check.add_argument("--width", type=int, default=64, help="datapath bits")
+    check.add_argument("--soc", action="store_true", help="SoC-class control plane")
+    check.set_defaults(func=cmd_check)
 
     metrics = sub.add_parser(
         "metrics",

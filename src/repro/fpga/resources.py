@@ -128,14 +128,23 @@ class FPGADevice:
             and used.math <= self.math
         )
 
+    def overflow_report(self, used: ResourceVector) -> list[str]:
+        """One ``key: used > limit`` string per over-capacity resource.
+
+        The keys of :meth:`ResourceVector.as_dict` double as attribute
+        names on the device, so every resource class added to the vector
+        must gain a matching capacity attribute here (a test locks this).
+        """
+        return [
+            f"{key}: {value} > {getattr(self, key)}"
+            for key, value in used.as_dict().items()
+            if value > getattr(self, key)
+        ]
+
     def check_fits(self, used: ResourceVector, what: str = "design") -> None:
         """Raise :class:`ResourceError` when ``used`` exceeds capacity."""
         if not self.fits(used):
-            overs = [
-                f"{key}={value}/{getattr(self, key)}"
-                for key, value in used.as_dict().items()
-                if value > getattr(self, key)
-            ]
+            overs = self.overflow_report(used)
             raise ResourceError(
                 f"{what} does not fit {self.name}: over on {', '.join(overs)}"
             )

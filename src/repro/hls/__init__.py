@@ -12,6 +12,7 @@ from .ir import CHAIN_STAGE_KINDS, PipelineSpec, Stage, StageKind
 from .passes import (
     ALL_PASSES,
     OptimizationReport,
+    PassFn,
     coalesce_fifos,
     eliminate_dead_stages,
     fuse_actions,
@@ -34,6 +35,7 @@ __all__ = [
     "FIELD_BITS",
     "HEADER_BYTES",
     "OptimizationReport",
+    "PassFn",
     "PipelineSpec",
     "Stage",
     "StageKind",

@@ -149,6 +149,25 @@ def price_pipeline(
     return ResourceVector.sum(list(per_stage.values())), per_stage
 
 
+def _verification_notes(findings, name: str, strict: bool) -> list[str]:
+    """Gate compilation on static findings: errors raise, the rest note.
+
+    In strict builds, error-severity findings abort before any bitstream
+    exists; with ``strict=False`` (feasibility sweeps) they degrade to
+    notes.  Warnings and infos are always returned as note strings for
+    :attr:`SynthesisReport.notes`.
+    """
+    from ..analysis.findings import Severity  # deferred: avoid import cycle
+
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if errors and strict:
+        raise CompileError(
+            f"static verification of {name!r} failed: "
+            + "; ".join(f.render() for f in errors)
+        )
+    return [f.render() for f in findings]
+
+
 def compile_pipeline(
     spec: PipelineSpec,
     shell: ShellSpec,
@@ -158,6 +177,7 @@ def compile_pipeline(
     payload_kib: int = 64,
     strict: bool = True,
     flow_cache_entries: int | None = None,
+    verify: bool = True,
 ) -> BuildResult:
     """Build a pipeline into a shell on a device.
 
@@ -168,10 +188,20 @@ def compile_pipeline(
     ``strict=False`` the report records the failure — useful for
     feasibility sweeps that *want* to see where designs stop fitting.
     ``flow_cache_entries`` adds a fast-path flow cache beside the pipeline
-    (priced in LSRAM, zero added pipeline depth).
+    (priced in LSRAM, zero added pipeline depth).  ``verify`` (default)
+    runs the :mod:`repro.analysis` IR verifier first: error findings raise
+    :class:`CompileError` before synthesis, warnings land in the report's
+    notes; ``verify=False`` reproduces the pre-verifier flow exactly.
     """
     if flow_cache_entries is not None:
         spec = _with_flow_cache(spec, flow_cache_entries)
+    verify_notes: list[str] = []
+    if verify:
+        from ..analysis.irverify import verify_pipeline
+
+        verify_notes = _verification_notes(
+            verify_pipeline(spec, device=device, shell=shell), spec.name, strict
+        )
     if clock_hz is None:
         clock_hz = shell.standard_ppe_clock_hz()
     if clock_hz > device.max_fabric_mhz * 1e6:
@@ -190,12 +220,7 @@ def compile_pipeline(
     fits = device.fits(total)
     notes: list[str] = []
     if not fits:
-        overs = [
-            f"{key}: {value} > {getattr(device, key)}"
-            for key, value in total.as_dict().items()
-            if value > getattr(device, key)
-        ]
-        notes.append("resource overflow: " + "; ".join(overs))
+        notes.append("resource overflow: " + "; ".join(device.overflow_report(total)))
     if not sustained:
         notes.append(
             f"timing miss: {timing.clock_hz / 1e6:.1f} MHz × "
@@ -207,6 +232,7 @@ def compile_pipeline(
         raise CompileError(
             f"build of {spec.name!r} on {device.name} failed: {'; '.join(notes)}"
         )
+    notes.extend(verify_notes)
 
     report = SynthesisReport(
         app_name=spec.name,
@@ -260,9 +286,28 @@ def compile_app(
     clock_hz: float | None = None,
     strict: bool = True,
     flow_cache_entries: int | None = None,
+    verify: bool = True,
 ) -> BuildResult:
-    """Convenience: build a :class:`PPEApplication` instance."""
-    return compile_pipeline(
+    """Convenience: build a :class:`PPEApplication` instance.
+
+    With ``verify`` (default) the full static-analysis surface runs before
+    synthesis — the IR verifier plus, for XDP programs, the AST analyzer
+    (:func:`repro.analysis.check_app`).  Error findings raise
+    :class:`CompileError` before any packet could ever be processed;
+    warnings merge into :attr:`SynthesisReport.notes` together with any
+    pending runtime :meth:`XdpProgram.lint` observations, so declaration
+    drift is surfaced on every recompile instead of being dropped.
+    """
+    verify_notes: list[str] = []
+    if verify:
+        from ..analysis import check_app  # deferred: avoid import cycle
+
+        verify_notes = _verification_notes(
+            check_app(app, device=device, shell=shell),
+            getattr(app, "name", type(app).__name__),
+            strict,
+        )
+    result = compile_pipeline(
         app.pipeline_spec(),
         shell,
         device=device,
@@ -270,4 +315,10 @@ def compile_app(
         app_params=app.config(),
         strict=strict,
         flow_cache_entries=flow_cache_entries,
+        verify=False,
     )
+    lint = getattr(app, "lint", None)
+    if callable(lint):
+        verify_notes.extend(f"lint: {warning}" for warning in lint())
+    result.report.notes.extend(verify_notes)
+    return result

@@ -20,11 +20,13 @@ the application's ``process``):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
+from ..errors import ResourceError
 from ..fpga.resources import ResourceVector
 from .ir import PipelineSpec, Stage, StageKind
 
-PassFn = "callable[[list[Stage]], list[Stage]]"
+PassFn = Callable[[list[Stage]], list[Stage]]
 
 
 def fuse_actions(stages: list[Stage]) -> list[Stage]:
@@ -108,7 +110,7 @@ def coalesce_fifos(stages: list[Stage]) -> list[Stage]:
     return out
 
 
-ALL_PASSES = (
+ALL_PASSES: tuple[PassFn, ...] = (
     eliminate_dead_stages,
     fuse_actions,
     merge_checksum_units,
@@ -141,7 +143,17 @@ def optimize(
     """Run every pass to a fixed point; return the new spec + report."""
     from .compiler import price_pipeline  # deferred: avoid import cycle
 
-    before_total, _ = price_pipeline(spec, datapath_bits)
+    try:
+        before_total, _ = price_pipeline(spec, datapath_bits)
+    except ResourceError:
+        # Dead stages (e.g. a zero-counter bank) are unpriceable but cost
+        # no hardware; price the live subset for the "before" figure.
+        live = PipelineSpec(
+            name=spec.name,
+            stages=eliminate_dead_stages(list(spec.stages)),
+            description=spec.description,
+        )
+        before_total, _ = price_pipeline(live, datapath_bits)
     stages = list(spec.stages)
     iterations = 0
     while True:

@@ -111,11 +111,14 @@ class Simulator:
             if profiler is None:
                 event.callback(*event.args)
             else:
-                start = perf_counter()
+                # Wall-clock reads are the profiler's whole purpose; they
+                # attribute real CPU time and never feed simulated state.
+                start = perf_counter()  # flexsfp: allow(det-wallclock)
                 try:
                     event.callback(*event.args)
                 finally:
-                    profiler.record(event.callback, perf_counter() - start)
+                    elapsed = perf_counter() - start  # flexsfp: allow(det-wallclock)
+                    profiler.record(event.callback, elapsed)
             return True
         return False
 

@@ -1,0 +1,79 @@
+"""The `flexsfp check` subcommand: sweep, self-lint, JSON, exit codes."""
+
+import json
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def run_json(capsys, *argv):
+    code, out, _ = run(capsys, *argv, "--json")
+    return code, json.loads(out)
+
+
+class TestSweep:
+    def test_bundled_apps_check_clean(self, capsys):
+        code, out, _ = run(capsys, "check")
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_single_app(self, capsys):
+        code, out, _ = run(capsys, "check", "nat")
+        assert code == 0
+        assert "checked 1 target(s)" in out
+
+    def test_self_lint_clean(self, capsys):
+        code, out, _ = run(capsys, "check", "--self")
+        assert code == 0
+        assert "0 error(s)" in out
+
+
+class TestJson:
+    def test_schema_and_counts(self, capsys):
+        code, doc = run_json(capsys, "check", "nat")
+        assert code == 0
+        assert doc["schema"] == "flexsfp.table/1"
+        assert doc["title"] == "check"
+        assert doc["columns"] == ["severity", "rule", "location", "message", "hint"]
+        assert doc["counts"]["error"] == 0
+        assert doc["targets"] == ["app:nat"]
+
+    def test_full_sweep_lists_all_targets(self, capsys):
+        code, doc = run_json(capsys, "check")
+        assert code == 0
+        app_targets = [t for t in doc["targets"] if t.startswith("app:")]
+        assert len(app_targets) >= 14
+
+
+class TestErrorFindings:
+    def test_broken_example_fails_the_check(self, capsys, tmp_path, monkeypatch):
+        (tmp_path / "bad.py").write_text(
+            "def bad(ctx: XdpContext):\n"
+            "    while True:\n"
+            "        pass\n"
+        )
+        code, doc = run_json(capsys, "check", "--examples", str(tmp_path))
+        assert code == 1
+        assert doc["counts"]["error"] >= 1
+        assert any(row[1] == "xdp-loop" for row in doc["rows"])
+
+    def test_syntax_error_example_is_reported(self, capsys, tmp_path):
+        (tmp_path / "mangled.py").write_text("def broken(:\n")
+        code, doc = run_json(capsys, "check", "--examples", str(tmp_path))
+        assert code == 1
+        assert any(row[1] == "xdp-syntax" for row in doc["rows"])
+
+    def test_text_mode_prints_finding_table(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "def bad(ctx: XdpContext):\n"
+            "    while True:\n"
+            "        pass\n"
+        )
+        code, out, _ = run(capsys, "check", "--examples", str(tmp_path))
+        assert code == 1
+        assert "xdp-loop" in out and "error" in out

@@ -1,0 +1,224 @@
+"""IR verifier: every rule fires on a broken spec and stays quiet on a
+well-formed one."""
+
+from repro.analysis import Severity, verify_pipeline
+from repro.analysis.irverify import MAX_CHAIN_DEPTH
+from repro.apps import APP_FACTORIES, create_app
+from repro.fpga import MPF100T
+from repro.hls import PipelineSpec, Stage, StageKind
+from repro.packet import IPv4, VLAN
+
+
+def rules_of(findings, severity=None):
+    return {
+        f.rule
+        for f in findings
+        if severity is None or f.severity is severity
+    }
+
+
+def parser(bytes_=34):
+    return Stage("parse", StageKind.PARSER, {"header_bytes": bytes_})
+
+
+def deparser(bytes_=34):
+    return Stage("deparse", StageKind.DEPARSER, {"header_bytes": bytes_})
+
+
+def table(name="t", entries=256, key_bits=32):
+    return Stage(
+        name,
+        StageKind.EXACT_TABLE,
+        {"entries": entries, "key_bits": key_bits, "value_bits": 64},
+    )
+
+
+def good_spec():
+    return PipelineSpec(
+        name="good",
+        stages=[
+            parser(),
+            table(),
+            Stage("act", StageKind.ACTION, {"rewrite_bits": 32}),
+            Stage("csum", StageKind.CHECKSUM, {}),
+            deparser(),
+        ],
+    )
+
+
+class TestStructure:
+    def test_clean_spec_has_no_errors(self):
+        findings = verify_pipeline(good_spec())
+        assert rules_of(findings, Severity.ERROR) == set()
+
+    def test_missing_parser_is_error(self):
+        spec = PipelineSpec(name="p", stages=[table(), deparser()])
+        findings = verify_pipeline(spec)
+        assert "ir-no-parser" in rules_of(findings, Severity.ERROR)
+
+    def test_parser_after_table_is_error(self):
+        spec = PipelineSpec(name="p", stages=[table(), parser(), deparser()])
+        findings = verify_pipeline(spec)
+        assert "ir-parser-order" in rules_of(findings, Severity.ERROR)
+        assert "ir-no-parser" not in rules_of(findings)
+
+    def test_missing_deparser_is_warning(self):
+        spec = PipelineSpec(name="p", stages=[parser(), table()])
+        findings = verify_pipeline(spec)
+        assert "ir-deparser-missing" in rules_of(findings, Severity.WARNING)
+
+    def test_stage_after_deparser_is_error(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[
+                parser(),
+                deparser(),
+                Stage("late", StageKind.COUNTERS, {"counters": 4}),
+            ],
+        )
+        findings = verify_pipeline(spec)
+        assert "ir-deparser-order" in rules_of(findings, Severity.ERROR)
+
+    def test_trailing_fifo_after_deparser_is_fine(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[
+                parser(),
+                deparser(),
+                Stage("out", StageKind.FIFO, {"depth_bytes": 2048}),
+            ],
+        )
+        assert "ir-deparser-order" not in rules_of(verify_pipeline(spec))
+
+
+class TestKeyWidth:
+    def test_key_wider_than_parsed_headers_is_error(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[parser(14), table(key_bits=128), deparser(14)],
+        )
+        findings = verify_pipeline(spec)
+        assert "ir-key-width" in rules_of(findings, Severity.ERROR)
+
+    def test_key_within_parsed_headers_passes(self):
+        spec = PipelineSpec(
+            name="p", stages=[parser(34), table(key_bits=104), deparser(34)]
+        )
+        assert "ir-key-width" not in rules_of(verify_pipeline(spec))
+
+
+class TestChecksum:
+    def test_checksummed_rewrite_without_unit_is_error(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[
+                parser(),
+                Stage("act", StageKind.ACTION, {"rewrite_bits": 32}),
+                deparser(),
+            ],
+        )
+        findings = verify_pipeline(spec, rewrites=[(IPv4, "src")])
+        assert "ir-missing-checksum" in rules_of(findings, Severity.ERROR)
+
+    def test_vlan_rewrite_without_unit_passes(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[
+                parser(),
+                Stage("act", StageKind.ACTION, {"rewrite_bits": 12}),
+                deparser(),
+            ],
+        )
+        findings = verify_pipeline(spec, rewrites=[(VLAN, "vid")])
+        assert "ir-missing-checksum" not in rules_of(findings)
+
+    def test_without_field_knowledge_only_info(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[
+                parser(),
+                Stage("act", StageKind.ACTION, {"rewrite_bits": 32}),
+                deparser(),
+            ],
+        )
+        findings = verify_pipeline(spec)
+        assert "ir-missing-checksum" in rules_of(findings, Severity.INFO)
+        assert "ir-missing-checksum" not in rules_of(findings, Severity.ERROR)
+
+    def test_checksum_stage_satisfies_rule(self):
+        findings = verify_pipeline(good_spec(), rewrites=[(IPv4, "src")])
+        assert "ir-missing-checksum" not in rules_of(findings)
+
+
+class TestChainDepth:
+    def test_deep_chain_is_warning(self):
+        stages = [parser()]
+        stages += [
+            table(name=f"t{i}", entries=16) for i in range(MAX_CHAIN_DEPTH + 1)
+        ]
+        stages.append(deparser())
+        findings = verify_pipeline(PipelineSpec(name="deep", stages=stages))
+        assert "ir-chain-depth" in rules_of(findings, Severity.WARNING)
+
+    def test_paper_depth_passes(self):
+        assert "ir-chain-depth" not in rules_of(verify_pipeline(good_spec()))
+
+
+class TestRedundantStages:
+    def test_fusable_actions_warn(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[
+                parser(),
+                Stage("a1", StageKind.ACTION, {"rewrite_bits": 16}),
+                Stage("a2", StageKind.ACTION, {"rewrite_bits": 16}),
+                Stage("csum", StageKind.CHECKSUM, {}),
+                deparser(),
+            ],
+        )
+        findings = verify_pipeline(spec)
+        assert "ir-redundant-stage" in rules_of(findings, Severity.WARNING)
+
+    def test_dead_counter_bank_warns(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[
+                parser(),
+                Stage("dead", StageKind.COUNTERS, {"counters": 0}),
+                deparser(),
+            ],
+        )
+        findings = verify_pipeline(spec)
+        assert "ir-redundant-stage" in rules_of(findings, Severity.WARNING)
+
+    def test_optimized_spec_passes(self):
+        assert "ir-redundant-stage" not in rules_of(verify_pipeline(good_spec()))
+
+
+class TestResourceFit:
+    def test_oversized_table_is_error_with_attribution(self):
+        spec = PipelineSpec(
+            name="p",
+            stages=[parser(), table(entries=4_000_000), deparser()],
+        )
+        findings = verify_pipeline(spec, device=MPF100T)
+        fit = [f for f in findings if f.rule == "ir-resource-fit"]
+        assert fit and all(f.severity is Severity.ERROR for f in fit)
+        # The overflow names the guilty stage.
+        assert any("t=" in f.message for f in fit)
+
+    def test_fitting_design_passes(self):
+        assert "ir-resource-fit" not in rules_of(
+            verify_pipeline(good_spec(), device=MPF100T)
+        )
+
+
+class TestBundledApps:
+    def test_every_registered_app_verifies_clean(self):
+        """The acceptance bar: no error findings on any shipped app."""
+        for name in sorted(APP_FACTORIES):
+            findings = verify_pipeline(create_app(name).pipeline_spec())
+            assert rules_of(findings, Severity.ERROR) == set(), (
+                name,
+                [f.render() for f in findings],
+            )

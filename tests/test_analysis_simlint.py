@@ -1,0 +1,123 @@
+"""Determinism linter: trigger and pass fixtures per rule, suppression
+syntax, and the self-clean guarantee over the installed package."""
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.simlint import default_lint_root
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def lint(source):
+    return lint_source(source, "snippet.py")
+
+
+class TestWallclock:
+    def test_time_time_is_flagged(self):
+        findings = lint("import time\nstamp = time.time()\n")
+        assert rules_of(findings) == {"det-wallclock"}
+        assert findings[0].location == "snippet.py:2"
+
+    def test_imported_perf_counter_is_flagged(self):
+        source = "from time import perf_counter\nstart = perf_counter()\n"
+        assert "det-wallclock" in rules_of(lint(source))
+
+    def test_datetime_now_is_flagged(self):
+        source = "from datetime import datetime\nwhen = datetime.now()\n"
+        assert "det-wallclock" in rules_of(lint(source))
+
+    def test_virtual_time_passes(self):
+        assert lint("def tick(sim):\n    return sim.now_ns\n") == []
+
+
+class TestRandom:
+    def test_unseeded_random_is_flagged(self):
+        source = "import random\nrng = random.Random()\n"
+        assert "det-unseeded-random" in rules_of(lint(source))
+
+    def test_seeded_random_passes(self):
+        assert lint("import random\nrng = random.Random(42)\n") == []
+
+    def test_imported_unseeded_random_is_flagged(self):
+        source = "from random import Random\nrng = Random()\n"
+        assert "det-unseeded-random" in rules_of(lint(source))
+
+    def test_module_level_random_is_flagged(self):
+        source = "import random\nx = random.randint(0, 9)\n"
+        assert "det-global-random" in rules_of(lint(source))
+
+    def test_imported_module_fn_is_flagged(self):
+        source = "from random import shuffle\nshuffle(items)\n"
+        assert "det-global-random" in rules_of(lint(source))
+
+
+class TestSetOrder:
+    def test_for_over_set_literal_is_flagged(self):
+        source = "for name in {'a', 'b'}:\n    print(name)\n"
+        assert "det-set-order" in rules_of(lint(source))
+
+    def test_list_of_set_call_is_flagged(self):
+        assert "det-set-order" in rules_of(lint("order = list(set(names))\n"))
+
+    def test_comprehension_over_set_is_flagged(self):
+        source = "rows = [n for n in {'a', 'b'}]\n"
+        assert "det-set-order" in rules_of(lint(source))
+
+    def test_sorted_set_passes(self):
+        assert lint("order = sorted({'a', 'b'})\n") == []
+
+    def test_for_over_list_passes(self):
+        assert lint("for name in ['a', 'b']:\n    use(name)\n") == []
+
+
+class TestIdOrder:
+    def test_sort_key_id_is_flagged(self):
+        assert "det-id-order" in rules_of(lint("items.sort(key=id)\n")) or (
+            "det-id-order" in rules_of(lint("sorted(items, key=lambda x: id(x))\n"))
+        )
+
+    def test_sorted_by_id_call_is_flagged(self):
+        source = "order = sorted(items, key=lambda x: id(x))\n"
+        assert "det-id-order" in rules_of(lint(source))
+
+    def test_sorted_by_name_passes(self):
+        assert lint("order = sorted(items, key=lambda x: x.name)\n") == []
+
+
+class TestSuppression:
+    def test_named_allow_suppresses(self):
+        source = (
+            "import time\n"
+            "stamp = time.time()  # flexsfp: allow(det-wallclock)\n"
+        )
+        assert lint(source) == []
+
+    def test_bare_allow_suppresses_everything(self):
+        source = "import time\nstamp = time.time()  # flexsfp: allow\n"
+        assert lint(source) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = (
+            "import time\n"
+            "stamp = time.time()  # flexsfp: allow(det-set-order)\n"
+        )
+        assert "det-wallclock" in rules_of(lint(source))
+
+    def test_allow_list_matches_any_member(self):
+        source = (
+            "import time\n"
+            "stamp = time.time()  # flexsfp: allow(det-set-order, det-wallclock)\n"
+        )
+        assert lint(source) == []
+
+
+class TestSyntaxAndSweep:
+    def test_unparseable_source_is_one_error(self):
+        findings = lint("def broken(:\n")
+        assert rules_of(findings) == {"det-syntax"}
+
+    def test_installed_package_lints_clean(self):
+        """The guarantee `flexsfp check --self` enforces in CI."""
+        findings = lint_paths([default_lint_root()])
+        assert findings == [], [f.render() for f in findings]

@@ -151,3 +151,104 @@ class TestIRValidation:
         total, per_stage = price_pipeline(StaticNat().pipeline_spec(), 64)
         assert "glue" in per_stage
         assert total.lut4 == sum(v.lut4 for v in per_stage.values())
+
+
+class TestOverflowReport:
+    """The overflow message is built by indexing device attributes with
+    ResourceVector.as_dict() keys — lock that correspondence down."""
+
+    def test_every_vector_key_is_a_device_attribute(self):
+        from repro.fpga import DEVICES, ResourceVector
+
+        for device in DEVICES.values():
+            for key in ResourceVector().as_dict():
+                assert isinstance(getattr(device, key), int), (device.name, key)
+
+    def test_overflow_report_names_only_over_keys(self):
+        from repro.fpga import MPF200T, ResourceVector
+
+        used = ResourceVector(lut4=MPF200T.lut4 + 1, lsram=MPF200T.lsram + 5)
+        report = MPF200T.overflow_report(used)
+        assert len(report) == 2
+        assert report[0].startswith(f"lut4: {MPF200T.lut4 + 1} > {MPF200T.lut4}")
+        assert any(line.startswith("lsram:") for line in report)
+
+    def test_fitting_vector_reports_nothing(self):
+        from repro.fpga import MPF200T, ResourceVector
+
+        assert MPF200T.overflow_report(ResourceVector(lut4=1)) == []
+
+    def test_check_fits_message_uses_report(self):
+        from repro.errors import ResourceError
+        from repro.fpga import MPF100T, ResourceVector
+
+        with pytest.raises(ResourceError, match="lut4"):
+            MPF100T.check_fits(ResourceVector(lut4=MPF100T.lut4 + 1))
+
+
+class TestVerifyFlag:
+    def test_verify_notes_surface_warnings(self):
+        spec = PipelineSpec(
+            name="no-deparse",
+            stages=[
+                Stage("parse", StageKind.PARSER, {"header_bytes": 14}),
+                Stage(
+                    "t",
+                    StageKind.EXACT_TABLE,
+                    {"entries": 16, "key_bits": 8, "value_bits": 8},
+                ),
+            ],
+        )
+        result = compile_pipeline(spec, ShellSpec())
+        assert any("ir-deparser-missing" in note for note in result.report.notes)
+
+    def test_verify_false_skips_analysis(self):
+        spec = PipelineSpec(
+            name="no-deparse",
+            stages=[
+                Stage("parse", StageKind.PARSER, {"header_bytes": 14}),
+                Stage(
+                    "t",
+                    StageKind.EXACT_TABLE,
+                    {"entries": 16, "key_bits": 8, "value_bits": 8},
+                ),
+            ],
+        )
+        result = compile_pipeline(spec, ShellSpec(), verify=False)
+        assert result.report.notes == []
+
+    def test_verify_error_raises_before_synthesis(self):
+        spec = PipelineSpec(
+            name="backwards",
+            stages=[
+                Stage(
+                    "t",
+                    StageKind.EXACT_TABLE,
+                    {"entries": 16, "key_bits": 8, "value_bits": 8},
+                ),
+                Stage("parse", StageKind.PARSER, {"header_bytes": 14}),
+                Stage("deparse", StageKind.DEPARSER, {"header_bytes": 14}),
+            ],
+        )
+        with pytest.raises(CompileError, match="ir-parser-order"):
+            compile_pipeline(spec, ShellSpec())
+
+    def test_non_strict_degrades_verify_errors_to_notes(self):
+        # Key wider than the parsed headers: verify-only error that the
+        # cost model happily prices, so strict=False can still build.
+        spec = PipelineSpec(
+            name="wide-key",
+            stages=[
+                Stage("parse", StageKind.PARSER, {"header_bytes": 14}),
+                Stage(
+                    "t",
+                    StageKind.EXACT_TABLE,
+                    {"entries": 16, "key_bits": 256, "value_bits": 8},
+                ),
+                Stage("deparse", StageKind.DEPARSER, {"header_bytes": 14}),
+            ],
+        )
+        result = compile_pipeline(spec, ShellSpec(), strict=False)
+        assert any("ir-key-width" in note for note in result.report.notes)
+        with pytest.raises(CompileError, match="ir-key-width"):
+            compile_pipeline(spec, ShellSpec())

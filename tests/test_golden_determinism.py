@@ -186,3 +186,21 @@ class TestEnqueueTimestampRegression:
         assert (
             second.ppe.latency_ns.counts == first.ppe.latency_ns.counts
         ), (first.ppe.latency_ns.snapshot(), second.ppe.latency_ns.snapshot())
+
+
+class TestVerificationNeutrality:
+    """Static verification is read-only: with or without it, the build
+    flow emits the exact same artifact and the sim the same statistics."""
+
+    def test_verify_flag_is_bitstream_neutral(self):
+        from repro.core import ShellSpec
+        from repro.hls import compile_app
+
+        with_verify = compile_app(StaticNat(), ShellSpec())
+        without = compile_app(StaticNat(), ShellSpec(), verify=False)
+        assert with_verify.bitstream.to_bytes() == without.bitstream.to_bytes()
+
+    def test_verify_flag_is_stats_neutral(self):
+        assert nat_linerate_stats(fastpath=False, batch_size=1) == (
+            nat_linerate_stats(fastpath=False, batch_size=1)
+        )

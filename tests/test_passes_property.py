@@ -1,0 +1,144 @@
+"""Property tests for the optimization passes (hypothesis).
+
+Two guarantees the verifier and the build flow both lean on:
+
+* every pass — and their fixed-point composition ``optimize()`` — is
+  idempotent, so re-running the optimizer never changes a design twice;
+* passes only restructure hardware, they never change behaviour-relevant
+  parameters: total rewrite width, the table set, checksum presence, and
+  worst-case buffering are invariant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hls import PipelineSpec, Stage, StageKind, optimize
+from repro.hls.passes import ALL_PASSES
+
+_COUNTER = st.integers(min_value=0, max_value=64)
+
+
+def _middle_stage(index: int, kind: StageKind, a: int, b: int) -> Stage:
+    name = f"s{index}"
+    if kind is StageKind.EXACT_TABLE:
+        return Stage(
+            name,
+            kind,
+            {"entries": max(a, 1) * 16, "key_bits": 8 + b, "value_bits": 32},
+        )
+    if kind is StageKind.ACTION:
+        # Zero-width actions are valid IR and exactly what
+        # eliminate_dead_stages exists to remove.
+        return Stage(name, kind, {"rewrite_bits": a})
+    if kind is StageKind.CHECKSUM:
+        return Stage(name, kind, {})
+    if kind is StageKind.COUNTERS:
+        return Stage(name, kind, {"counters": a})
+    return Stage(name, StageKind.FIFO, {"depth_bytes": 256 * (1 + a)})
+
+
+_MIDDLE_KINDS = st.sampled_from(
+    [
+        StageKind.EXACT_TABLE,
+        StageKind.ACTION,
+        StageKind.CHECKSUM,
+        StageKind.COUNTERS,
+        StageKind.FIFO,
+    ]
+)
+
+
+@st.composite
+def stage_lists(draw):
+    """Parser-first, deparser-last stage lists with unique names."""
+    middles = draw(
+        st.lists(st.tuples(_MIDDLE_KINDS, _COUNTER, _COUNTER), max_size=8)
+    )
+    stages = [Stage("parse", StageKind.PARSER, {"header_bytes": 34})]
+    stages += [
+        _middle_stage(i, kind, a, b) for i, (kind, a, b) in enumerate(middles)
+    ]
+    stages.append(Stage("deparse", StageKind.DEPARSER, {"header_bytes": 34}))
+    return stages
+
+
+def apply_all(stages):
+    for pass_fn in ALL_PASSES:
+        stages = pass_fn(stages)
+    return stages
+
+
+def total_rewrite_bits(stages):
+    return sum(
+        s.param("rewrite_bits") for s in stages if s.kind is StageKind.ACTION
+    )
+
+
+def table_params(stages):
+    return sorted(
+        tuple(sorted(s.params.items()))
+        for s in stages
+        if s.kind is StageKind.EXACT_TABLE
+    )
+
+
+class TestIdempotence:
+    @settings(max_examples=200)
+    @given(stage_lists())
+    def test_each_pass_is_idempotent(self, stages):
+        for pass_fn in ALL_PASSES:
+            once = pass_fn(list(stages))
+            assert pass_fn(list(once)) == once, pass_fn.__name__
+
+    @settings(max_examples=100)
+    @given(stage_lists())
+    def test_optimize_reaches_a_fixed_point(self, stages):
+        spec = PipelineSpec(name="gen", stages=stages)
+        optimized, _ = optimize(spec)
+        again, report = optimize(optimized)
+        assert again.stages == optimized.stages
+        assert report.before_stages == report.after_stages
+
+
+class TestBehaviourPreservation:
+    @settings(max_examples=200)
+    @given(stage_lists())
+    def test_rewrite_width_is_invariant(self, stages):
+        assert total_rewrite_bits(apply_all(list(stages))) == total_rewrite_bits(
+            stages
+        )
+
+    @settings(max_examples=200)
+    @given(stage_lists())
+    def test_tables_are_untouched(self, stages):
+        assert table_params(apply_all(list(stages))) == table_params(stages)
+
+    @settings(max_examples=200)
+    @given(stage_lists())
+    def test_checksum_presence_is_preserved(self, stages):
+        had = any(s.kind is StageKind.CHECKSUM for s in stages)
+        has = any(s.kind is StageKind.CHECKSUM for s in apply_all(list(stages)))
+        assert has == had
+
+    @settings(max_examples=200)
+    @given(stage_lists())
+    def test_max_fifo_depth_is_preserved(self, stages):
+        def max_depth(seq):
+            depths = [
+                s.param("depth_bytes") for s in seq if s.kind is StageKind.FIFO
+            ]
+            return max(depths, default=0)
+
+        assert max_depth(apply_all(list(stages))) == max_depth(stages)
+
+    @settings(max_examples=100)
+    @given(stage_lists())
+    def test_live_counters_survive(self, stages):
+        def live_counters(seq):
+            return sum(
+                s.param("counters")
+                for s in seq
+                if s.kind is StageKind.COUNTERS
+            )
+
+        assert live_counters(apply_all(list(stages))) == live_counters(stages)
