@@ -15,9 +15,7 @@ registry as ``<dir>/<tag>.jsonl`` + ``<dir>/<tag>.prom`` (CI uploads these
 as build artifacts).
 """
 
-import os
 import time
-from pathlib import Path
 
 import pytest
 
@@ -46,8 +44,10 @@ KEY = b"bench-key"
 
 def _export_metrics(tag: str, module, host, fiber) -> None:
     """Dump the run's registry when FLEXSFP_METRICS_DIR points somewhere."""
-    directory = os.environ.get("FLEXSFP_METRICS_DIR")
-    if not directory:
+    from repro.config import get_settings
+
+    directory = get_settings().metrics_dir
+    if directory is None:
         return
     from repro.obs import MetricsRegistry, metrics_jsonl, prometheus_text
 
@@ -56,7 +56,7 @@ def _export_metrics(tag: str, module, host, fiber) -> None:
     registry.register("host", host)
     registry.register("fiber", fiber)
     metrics = registry.collect()
-    out = Path(directory)
+    out = directory
     out.mkdir(parents=True, exist_ok=True)
     (out / f"{tag}.jsonl").write_text(metrics_jsonl(metrics) + "\n")
     (out / f"{tag}.prom").write_text(prometheus_text(metrics))

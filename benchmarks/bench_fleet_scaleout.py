@@ -1,0 +1,114 @@
+"""Fleet scale-out — sharded scenario runs across worker processes.
+
+The paper's deployment unit is a *fleet* of FlexSFP modules; the repro's
+unit of fleet work is a shard (one full module+link+traffic instance
+with its own simulator and registry).  This benchmark fans a chaos-fleet
+workload out across ``multiprocessing`` workers and checks the two
+properties that make scale-out usable:
+
+* **Exactness** — the K-worker run's merged metrics, merged histograms,
+  and per-shard digests are *bit-identical* to the sequential run of
+  the same shards.  Parallelism must never show through in results.
+* **Speedup** — with enough cores, 4 workers complete the shard set
+  ≥ 2.5x faster than 1 worker.  Shards share nothing, so the scaling is
+  embarrassing; the only overheads are process start and result pickling.
+
+The speedup assertion is skipped (not weakened) on machines with fewer
+than 4 CPUs — a speedup measurement on an oversubscribed core would
+measure the scheduler, not the runner.
+"""
+
+import os
+import time
+
+import pytest
+from common import report
+from repro.obs import ScenarioSpec, TrafficProfile
+from repro.parallel import MergeKind, classify, run_sharded
+
+SEED = 11
+SHARDS = 8
+WORKERS = 4
+SPEEDUP_FLOOR = 2.5
+
+# A trimmed chaos profile: long enough that per-shard work dominates the
+# pool's fork/pickle overhead, short enough to keep the bench tractable.
+SPEC = ScenarioSpec(
+    kind="chaos",
+    seed=SEED,
+    shards=SHARDS,
+    fault_plan="smoke",
+    traffic=TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=1.0),
+)
+
+
+_CACHE: dict[str, tuple] = {}
+
+
+def compute_all():
+    sequential = run_sharded(SPEC, workers=1)
+    parallel = run_sharded(SPEC, workers=WORKERS)
+    _CACHE["pair"] = (sequential, parallel)
+    return sequential, parallel
+
+
+def test_fleet_scaleout(benchmark):
+    sequential, parallel = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+    rows = [
+        (
+            label,
+            result.workers,
+            len(result.shards),
+            f"{result.wall_s:.2f}",
+            f"{len(result.merged_metrics)}",
+        )
+        for label, result in (("sequential", sequential), ("parallel", parallel))
+    ]
+    speedup = sequential.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+    rows.append(("speedup", "-", "-", f"{speedup:.2f}x", "-"))
+    report(
+        f"Fleet scale-out: chaos x{SHARDS} shards, {WORKERS} workers "
+        f"(seed={SEED}, {os.cpu_count()} CPUs)",
+        ("run", "workers", "shards", "wall s", "merged metrics"),
+        rows,
+    )
+
+    # Exactness: worker count never shows through in any result.
+    assert parallel.digests == sequential.digests
+    assert parallel.merged_metrics == sequential.merged_metrics
+    assert parallel.merged_histograms == sequential.merged_histograms
+    # Shards are genuinely distinct workloads, not N copies of one.
+    assert len(set(sequential.digests)) == SHARDS
+    assert len({shard.seed for shard in sequential.shards}) == SHARDS
+    # The merged view sums per-shard integer counters exactly.
+    for name, value in sequential.merged_metrics.items():
+        if classify(name, value) is MergeKind.SUM:
+            total = sum(shard.metrics.get(name, 0) for shard in sequential.shards)
+            assert value == total, name
+
+
+def test_fleet_scaleout_speedup():
+    cpus = os.cpu_count() or 1
+    if cpus < WORKERS:
+        pytest.skip(
+            f"{cpus} CPU(s): a {WORKERS}-worker speedup measurement would "
+            "measure the scheduler, not the runner"
+        )
+    sequential, parallel = _CACHE.get("pair") or compute_all()
+    speedup = sequential.wall_s / parallel.wall_s
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x at {WORKERS} workers, got {speedup:.2f}x"
+    )
+
+
+def test_scaleout_wall_clock_sanity():
+    """One-worker timing really is the sum of shard work (no hidden pool)."""
+    small = ScenarioSpec(
+        kind="nat-linerate", seed=SEED, shards=2,
+        traffic=TrafficProfile(duration_s=0.1e-3),
+    )
+    started = time.perf_counter()
+    result = run_sharded(small, workers=1)
+    elapsed = time.perf_counter() - started
+    assert result.wall_s <= elapsed
+    assert len(result.shards) == 2

@@ -105,12 +105,24 @@ def clamp(value: float, low: float, high: float) -> float:
     return max(low, min(high, value))
 
 
-def warn_deprecated(old: str, new: str) -> None:
-    """Emit the standard deprecation warning for a legacy snapshot API."""
+DEPRECATION_REMOVAL_VERSION = "2.0"
+"""The release in which the legacy ``stats()``-era shims disappear."""
+
+
+def warn_deprecated(
+    old: str, new: str, removal: str = DEPRECATION_REMOVAL_VERSION
+) -> None:
+    """Emit the standard deprecation warning for a legacy snapshot API.
+
+    Every shim names its replacement *and* the release that removes it,
+    so ``flexsfp metrics --fail-on-deprecated`` (and any ``-W error``
+    run) can prove nothing internal still depends on the old surface.
+    """
     import warnings
 
     warnings.warn(
-        f"{old} is deprecated; use {new}",
+        f"{old} is deprecated and will be removed in repro {removal}; "
+        f"use {new}",
         DeprecationWarning,
         stacklevel=3,
     )

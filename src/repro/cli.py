@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
 from .analysis import (
@@ -51,13 +52,15 @@ from .fpga import (
 )
 from .hls import compile_app
 from .obs import (
+    SCENARIO_KINDS,
     SCENARIOS,
+    SCHEMA_FLEET,
     SCHEMA_TRACE,
+    ScenarioSpec,
     json_document,
     metrics_json,
     metrics_jsonl,
     prometheus_text,
-    run_scenario,
     table_json,
 )
 from .testbed import PowerTestbed
@@ -431,13 +434,25 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    run = run_scenario(
-        args.scenario,
+    spec = ScenarioSpec(
+        kind=args.scenario,
         fastpath=args.fastpath,
         batch_size=args.batch if args.batch else 1,
         profile=args.profile,
     )
-    metrics = run.metrics()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        run = spec.run()
+        metrics = run.metrics()
+    deprecated = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    if args.fail_on_deprecated and deprecated:
+        for warning in deprecated:
+            print(f"deprecated: {warning.message}", file=sys.stderr)
+        print(
+            f"error: {len(deprecated)} deprecated call(s) on the metrics path",
+            file=sys.stderr,
+        )
+        return 3
     fmt = "json" if args.json else args.format
     if fmt == "json":
         print(metrics_json(metrics))
@@ -449,12 +464,12 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    run = run_scenario(
-        args.scenario,
+    run = ScenarioSpec(
+        kind=args.scenario,
         trace_packets=args.packets,
         fastpath=args.fastpath,
         batch_size=args.batch if args.batch else 1,
-    )
+    ).run()
     tracer = run.tracer
     if args.json:
         print(json_document(SCHEMA_TRACE, spans=tracer.to_dicts()))
@@ -462,6 +477,44 @@ def cmd_trace(args: argparse.Namespace) -> int:
     jsonl = tracer.to_jsonl()
     if jsonl:
         print(jsonl)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .parallel import run_sharded
+
+    spec = ScenarioSpec(
+        kind=args.scenario,
+        seed=args.seed,
+        shards=args.shards,
+        fault_plan=args.plan,
+        fastpath=True if args.fastpath else None,
+        batch_size=args.batch if args.batch else None,
+    )
+    result = run_sharded(spec, workers=args.workers, start_method=args.start_method)
+    document = json_document(SCHEMA_FLEET, **result.to_dict())
+    if args.out is not None:
+        Path(args.out).write_text(document + "\n")
+    if args.json:
+        print(document)
+        return 0
+    print(
+        f"{spec.kind} x{result.spec.shards} shard(s), {result.workers} worker(s), "
+        f"seed={result.spec.seed} ({result.wall_s:.2f} s)"
+    )
+    _print_rows(
+        ("shard", "seed", "digest"),
+        [(s.index, s.seed, s.digest[:16]) for s in result.shards],
+    )
+    print()
+    merged_rows = [(name, value) for name, value in result.merged_metrics.items()]
+    if merged_rows:
+        _print_rows(("merged metric", "value"), merged_rows)
+    for name, state in result.merged_histograms.items():
+        total = sum(state["counts"])
+        print(f"histogram {name}: {total} samples across {len(state['bounds'])} buckets")
+    if args.out is not None:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -621,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the event-loop profiler (sim.profile.* metrics)",
     )
+    metrics.add_argument(
+        "--fail-on-deprecated",
+        action="store_true",
+        dest="fail_on_deprecated",
+        help="exit 3 if the scenario path emits any DeprecationWarning (CI gate)",
+    )
     metrics.set_defaults(func=cmd_metrics)
 
     trace = sub.add_parser(
@@ -641,6 +700,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
     )
     trace.set_defaults(func=cmd_trace)
+
+    run = sub.add_parser(
+        "run",
+        help="sharded fleet-scale scenario run with merged metrics",
+        parents=[common],
+    )
+    run.add_argument(
+        "--scenario", choices=sorted(SCENARIO_KINDS), default="chaos"
+    )
+    run.add_argument("--shards", type=int, default=4, help="independent instances")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: FLEXSFP_WORKERS, then 1)",
+    )
+    run.add_argument("--seed", type=int, default=1, help="root seed")
+    run.add_argument(
+        "--plan",
+        choices=sorted(NAMED_PLANS),
+        default=None,
+        help="fault plan for the chaos scenario (default: smoke)",
+    )
+    run.add_argument(
+        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+    )
+    run.add_argument(
+        "--batch", type=int, default=0, help="PPE batch size (0 = env/unbatched)"
+    )
+    run.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        dest="start_method",
+        help="multiprocessing start method (default: fork where available)",
+    )
+    run.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the flexsfp.fleet/1 JSON document to FILE",
+    )
+    run.set_defaults(func=cmd_run)
 
     return parser
 

@@ -1,0 +1,111 @@
+"""Typed runtime settings: every ``FLEXSFP_*`` knob parsed in one place.
+
+The simulation grew environment switches organically — the flow-cache
+fast path, the PPE batch size, the benchmark metrics-export directory —
+each parsed ad hoc at its point of use.  :class:`Settings` consolidates
+them into one frozen dataclass with a single, tested parser
+(:meth:`Settings.from_env`), resolved *once* wherever a component is
+constructed instead of re-read scalar by scalar.
+
+Recognized variables:
+
+========================  =====================================================
+``FLEXSFP_FASTPATH``      flow-cache fast path default (``1/true/on/yes``)
+``FLEXSFP_BATCH``         PPE batch size default (integer ≥ 1)
+``FLEXSFP_METRICS_DIR``   benchmark metrics-artifact export directory
+``FLEXSFP_WORKERS``       default worker count for sharded scenario runs
+``FLEXSFP_MP_START``      multiprocessing start method (``fork``/``spawn``/
+                          ``forkserver``); unset picks the best available
+========================  =====================================================
+
+Malformed values never raise at import or construction time: they fall
+back to the documented default, exactly like the scattered parsers they
+replace (a bad ``FLEXSFP_BATCH`` should degrade a CI knob, not brick the
+simulator).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Mapping
+
+_TRUE_WORDS = frozenset({"1", "true", "on", "yes"})
+
+ENV_FASTPATH = "FLEXSFP_FASTPATH"
+ENV_BATCH = "FLEXSFP_BATCH"
+ENV_METRICS_DIR = "FLEXSFP_METRICS_DIR"
+ENV_WORKERS = "FLEXSFP_WORKERS"
+ENV_MP_START = "FLEXSFP_MP_START"
+
+_START_METHODS = ("fork", "spawn", "forkserver")
+
+
+def parse_bool(raw: str | None, default: bool = False) -> bool:
+    """Parse a boolean env value (``1/true/on/yes`` → True; unset → default)."""
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip().lower() in _TRUE_WORDS
+
+
+def parse_int(
+    raw: str | None, default: int, minimum: int | None = None
+) -> int:
+    """Parse an integer env value; malformed input yields ``default``."""
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        return default
+    if minimum is not None and value < minimum:
+        return minimum
+    return value
+
+
+@dataclass(frozen=True)
+class Settings:
+    """All environment-tunable defaults, resolved once per construction site.
+
+    ``fastpath`` / ``batch_size`` are the simulation-speed knobs a
+    :class:`~repro.core.module.FlexSFPModule` consults when its own
+    constructor arguments are ``None``; ``metrics_dir`` is where
+    benchmarks export registry dumps; ``workers`` / ``start_method``
+    steer the :mod:`repro.parallel` sharded runner.
+    """
+
+    fastpath: bool = False
+    batch_size: int = 1
+    metrics_dir: Path | None = None
+    workers: int | None = None
+    start_method: str | None = None
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "Settings":
+        """Resolve every knob from ``env`` (default: ``os.environ``)."""
+        if env is None:
+            env = os.environ
+        metrics_dir = env.get(ENV_METRICS_DIR, "").strip()
+        start = env.get(ENV_MP_START, "").strip().lower()
+        workers = parse_int(env.get(ENV_WORKERS), 0, minimum=0)
+        return cls(
+            fastpath=parse_bool(env.get(ENV_FASTPATH)),
+            batch_size=parse_int(env.get(ENV_BATCH), 1, minimum=1),
+            metrics_dir=Path(metrics_dir) if metrics_dir else None,
+            workers=workers if workers > 0 else None,
+            start_method=start if start in _START_METHODS else None,
+        )
+
+    def with_overrides(self, **changes: object) -> "Settings":
+        """A copy with the given fields replaced (keyword-checked)."""
+        return replace(self, **changes)
+
+
+def get_settings(env: Mapping[str, str] | None = None) -> Settings:
+    """The current :class:`Settings` (re-parsed per call; parsing is cheap).
+
+    Components resolve this once at construction — a module built after
+    the environment changes sees the new values, a live module does not.
+    """
+    return Settings.from_env(env)

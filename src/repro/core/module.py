@@ -21,10 +21,10 @@ Latency constants (documented substitutes for measured silicon values):
 
 from __future__ import annotations
 
-import os
 from typing import Callable
 
 from .._util import mac_to_int, warn_deprecated
+from ..config import Settings, get_settings
 from ..errors import BitstreamError, ConfigError, FlashError
 from ..fpga.bitstream import Bitstream
 from ..fpga.flash import SPIFlash
@@ -47,23 +47,6 @@ RECONFIG_DOWNTIME_S = 120e-3
 WATCHDOG_TIMEOUT_S = 50e-3
 
 DEFAULT_AUTH_KEY = b"flexsfp-mgmt-key"
-
-
-def _env_fastpath() -> bool:
-    """Default for the flow-cache fast path (FLEXSFP_FASTPATH env var)."""
-    raw = os.environ.get("FLEXSFP_FASTPATH", "")
-    return raw.strip().lower() in ("1", "true", "on", "yes")
-
-
-def _env_batch_size() -> int:
-    """Default PPE batch size (FLEXSFP_BATCH env var, >= 1)."""
-    raw = os.environ.get("FLEXSFP_BATCH", "").strip()
-    if not raw:
-        return 1
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return 1
 
 
 class FlexSFPModule:
@@ -90,9 +73,14 @@ class FlexSFPModule:
         Simulation-speed knobs (results are differentially tested to be
         identical): ``fastpath`` puts a :class:`FlowCache` in front of the
         PPE; ``batch_size`` > 1 drains up to that many frames per
-        scheduled event and coalesces port events.  ``None`` reads the
-        ``FLEXSFP_FASTPATH`` / ``FLEXSFP_BATCH`` environment variables
-        (so CI can run the whole suite with the fast path on).
+        scheduled event and coalesces port events.  ``None`` defers to
+        ``settings`` — the typed :class:`~repro.config.Settings` object
+        resolved once at construction from the ``FLEXSFP_FASTPATH`` /
+        ``FLEXSFP_BATCH`` environment variables (so CI can run the whole
+        suite with the fast path on).
+    settings:
+        A pre-resolved :class:`~repro.config.Settings`; ``None`` resolves
+        the environment here, once, instead of knob by knob.
     """
 
     def __init__(
@@ -112,6 +100,7 @@ class FlexSFPModule:
         fastpath: bool | None = None,
         batch_size: int | None = None,
         flow_cache_entries: int = DEFAULT_FLOW_CACHE_ENTRIES,
+        settings: Settings | None = None,
     ) -> None:
         from ..hls.compiler import compile_app  # deferred: avoids import cycle
 
@@ -126,8 +115,10 @@ class FlexSFPModule:
         self.auth_key = auth_key
         self.deploy_key = deploy_key if deploy_key is not None else auth_key
 
-        self.fastpath = _env_fastpath() if fastpath is None else fastpath
-        self.batch_size = _env_batch_size() if batch_size is None else batch_size
+        if fastpath is None or batch_size is None:
+            settings = settings if settings is not None else get_settings()
+        self.fastpath = settings.fastpath if fastpath is None else fastpath
+        self.batch_size = settings.batch_size if batch_size is None else batch_size
         self.flow_cache = (
             FlowCache(flow_cache_entries, name=f"{name}.flow_cache")
             if self.fastpath

@@ -196,6 +196,8 @@ def run_gauntlet(
     probe_interval_s: float = PROBE_INTERVAL_S,
     fastpath: bool | None = None,
     batch_size: int | None = None,
+    registry=None,
+    tracer=None,
 ) -> GauntletResult:
     """Run one chaos gauntlet and return its measurements.
 
@@ -206,6 +208,13 @@ def run_gauntlet(
     probes the module every ``probe_interval_s``; a probe that reports
     *degraded* triggers a re-deploy of the application image (counted as
     a repair, i.e. NOT self-healing).
+
+    ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`)
+    optionally instruments every component — module, switch, fleet
+    controller, fault injector, host/sink ports — and ``tracer``
+    optionally attaches per-packet stage tracing to the module; both are
+    pull-based/off-by-default and do not perturb the simulation (the
+    golden determinism suite pins this).
     """
     if isinstance(plan, str):
         builder = NAMED_PLANS.get(plan)
@@ -279,6 +288,17 @@ def run_gauntlet(
     injector.register_link(LINE_LINK, line_wire)
     injector.register_module(DUT, module)
     injector.arm(plan)
+
+    if tracer is not None:
+        module.attach_tracer(tracer)
+    if registry is not None:
+        registry.register_value("sim.events", lambda: sim.events_processed)
+        retrofit.register_metrics(registry)
+        registry.register("switch", switch)
+        controller.register_metrics(registry)
+        registry.register("faults", injector)
+        registry.register("host", host)
+        registry.register("sink", sink)
 
     # Controller-side health probing + degraded-module rescue.
     probe_log: list[tuple[float, bool]] = []

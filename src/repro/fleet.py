@@ -123,6 +123,25 @@ class FleetController:
         self.naks = Counter(f"{name}.naks")
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metric_values(self) -> dict[str, int]:
+        """Flat :class:`~repro.obs.registry.MetricSource` view."""
+        return {
+            "timeouts.packets": self.timeouts.packets,
+            "retries.packets": self.retries.packets,
+            "naks.packets": self.naks.packets,
+            "pending": len(self._pending),
+            "discovered": len(self._discovered),
+            "seq": self._seq,
+        }
+
+    def register_metrics(self, registry) -> None:
+        """Publish the controller and its port into a ``MetricsRegistry``."""
+        registry.register(self.name, self)
+        registry.register(f"{self.name}.port", self.port)
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def _next_seq(self) -> int:

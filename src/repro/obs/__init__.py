@@ -9,6 +9,7 @@ the collected state as Prometheus text, JSON documents, or JSON Lines.
 """
 
 from .export import (
+    SCHEMA_FLEET,
     SCHEMA_METRICS,
     SCHEMA_PROFILE,
     SCHEMA_TABLE,
@@ -28,8 +29,11 @@ from .registry import (
     validate_metric_name,
 )
 from .scenario import (
+    SCENARIO_KINDS,
     SCENARIOS,
     ScenarioRun,
+    ScenarioSpec,
+    TrafficProfile,
     run_nat_chain,
     run_nat_linerate,
     run_scenario,
@@ -52,6 +56,8 @@ __all__ = [
     "MetricValue",
     "MetricsRegistry",
     "SCENARIOS",
+    "SCENARIO_KINDS",
+    "SCHEMA_FLEET",
     "SCHEMA_METRICS",
     "SCHEMA_PROFILE",
     "SCHEMA_TABLE",
@@ -62,7 +68,9 @@ __all__ = [
     "STAGE_MAC_RX",
     "STAGE_PPE",
     "ScenarioRun",
+    "ScenarioSpec",
     "TRACE_ID_META",
+    "TrafficProfile",
     "TraceSpan",
     "Tracer",
     "json_document",

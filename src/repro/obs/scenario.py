@@ -1,21 +1,40 @@
-"""Canonical instrumented scenarios for the observability CLI and CI.
+"""The unified Scenario API: typed specs for every instrumented workload.
 
-One place defines the quick NAT line-rate configuration (the same
-topology the golden-determinism tests pin down) wired into the full
-observability stack: a :class:`~repro.obs.registry.MetricsRegistry` over
-every component, an optional :class:`~repro.obs.trace.Tracer`, and an
-optional :class:`~repro.obs.profiler.LoopProfiler` on the event loop.
+One :class:`ScenarioSpec` describes a complete simulated workload — which
+scenario *kind* to build (NAT line-rate, chained NATs, the chaos
+gauntlet, a fleet upgrade campaign), the traffic profile, the target
+device, the fault plan, the fastpath/batching knobs, and how many
+independent shards a fleet-scale run should split into.  ``spec.run()``
+executes one instance; ``spec.run_sharded(workers=K)`` fans the shards
+out across worker processes via :mod:`repro.parallel` and merges the
+results deterministically.
 
-``repro metrics`` / ``repro trace`` and the benchmark artifact export all
-drive these builders, so the numbers a CI artifact carries and the ones a
-test asserts on come from the identical code path.
+Every run is wired into the full observability stack: a
+:class:`~repro.obs.registry.MetricsRegistry` over every component, an
+optional :class:`~repro.obs.trace.Tracer`, and an optional
+:class:`~repro.obs.profiler.LoopProfiler` on the event loop.  ``flexsfp
+metrics`` / ``flexsfp trace`` / ``flexsfp run`` and the benchmark
+artifact export all drive these builders, so the numbers a CI artifact
+carries and the ones a test asserts on come from the identical code
+path.
+
+The legacy ``run_scenario(name, **kwargs)`` string-dispatch entry point
+survives as a deprecation shim that builds a spec and forwards to it.
 """
 
 from __future__ import annotations
 
-from ..apps import StaticNat
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Callable
+
+from .._util import warn_deprecated
+from ..apps import StaticNat, create_app
+from ..config import Settings, get_settings
 from ..core.module import FlexSFPModule
 from ..errors import ConfigError
+from ..fpga import get_device
 from ..netem import CbrSource
 from ..packet import make_udp
 from ..sim.engine import Simulator
@@ -28,22 +47,172 @@ SCENARIO_KEY = b"obs-scenario-key"
 DEFAULT_DURATION_S = 0.2e-3
 
 
+# ----------------------------------------------------------------------
+# Spec types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficProfile:
+    """The offered load of a scenario (CBR, one frame size)."""
+
+    rate_bps: float = 10e9
+    frame_len: int = 60
+    duration_s: float = DEFAULT_DURATION_S
+
+    def validate(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigError(f"traffic rate must be positive: {self.rate_bps}")
+        if self.frame_len < 60:
+            raise ConfigError(f"frame_len below minimum Ethernet: {self.frame_len}")
+        if self.duration_s <= 0:
+            raise ConfigError(f"duration must be positive: {self.duration_s}")
+
+
+# Per-kind traffic defaults: the NAT scenarios stress the line rate, the
+# fleet/chaos scenarios run background load while the control plane works.
+_KIND_TRAFFIC: dict[str, TrafficProfile] = {
+    "nat-linerate": TrafficProfile(),
+    "nat-chain": TrafficProfile(),
+    "chaos": TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=1.5),
+    "fleet-upgrade": TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=0.5),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, typed description of one simulated workload.
+
+    ``fastpath`` / ``batch_size`` left as ``None`` resolve from
+    :class:`~repro.config.Settings` (the ``FLEXSFP_FASTPATH`` /
+    ``FLEXSFP_BATCH`` environment knobs) exactly once, in
+    :meth:`resolved` — a sharded run resolves in the parent so every
+    worker executes the same knobs regardless of its own environment.
+
+    ``seed`` is the *root* seed: shard ``i`` of a sharded run derives its
+    own seed from it (see :func:`repro.parallel.derive_shard_seed`), so
+    one integer reproduces an entire fleet bit-for-bit.
+    """
+
+    kind: str = "nat-linerate"
+    traffic: TrafficProfile | None = None
+    app: str = "nat"
+    device: str = "MPF200T"
+    fault_plan: str | None = None
+    seed: int = 1
+    fastpath: bool | None = None
+    batch_size: int | None = None
+    trace_packets: int | None = None
+    profile: bool = False
+    shards: int = 1
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigError(
+                f"unknown scenario {self.kind!r}; available: "
+                f"{sorted(SCENARIO_KINDS)}"
+            )
+        if self.traffic is not None:
+            self.traffic.validate()
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1: {self.shards}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.trace_packets is not None and self.trace_packets < 0:
+            raise ConfigError(
+                f"trace_packets must be >= 0: {self.trace_packets}"
+            )
+        if self.fault_plan is not None:
+            from ..faults import NAMED_PLANS  # deferred: avoids cycle
+
+            if self.fault_plan not in NAMED_PLANS:
+                raise ConfigError(
+                    f"unknown fault plan {self.fault_plan!r}; named plans: "
+                    f"{sorted(NAMED_PLANS)}"
+                )
+
+    def resolved(self, settings: Settings | None = None) -> "ScenarioSpec":
+        """A copy with every ``None`` knob filled in (env resolved once)."""
+        self.validate()
+        if settings is None:
+            settings = get_settings()
+        changes: dict[str, object] = {}
+        if self.traffic is None:
+            changes["traffic"] = _KIND_TRAFFIC[self.kind]
+        if self.fastpath is None:
+            changes["fastpath"] = settings.fastpath
+        if self.batch_size is None:
+            changes["batch_size"] = settings.batch_size
+        if self.kind == "chaos" and self.fault_plan is None:
+            changes["fault_plan"] = "smoke"
+        return replace(self, **changes) if changes else self
+
+    def with_shard(self, index: int, seed: int) -> "ScenarioSpec":
+        """The spec for one shard: its derived seed, shard-count 1."""
+        return replace(self, seed=seed, shards=1)
+
+    # ------------------------------------------------------------------
+    def run(self) -> "ScenarioRun":
+        """Build and execute one instance of this scenario."""
+        spec = self.resolved()
+        return SCENARIO_KINDS[spec.kind](spec)
+
+    def run_sharded(self, workers: int = 1):
+        """Fan ``self.shards`` independent instances across processes.
+
+        Returns a :class:`repro.parallel.FleetRunResult`; ``workers=1``
+        runs the shards sequentially in-process through the exact same
+        code path, which is what the bit-identity guarantee is tested
+        against.
+        """
+        from ..parallel import run_sharded  # deferred: avoids cycle
+
+        return run_sharded(self, workers=workers)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-friendly dict (the CLI's ``--json`` spec echo)."""
+        payload = asdict(self)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        data = dict(payload)
+        traffic = data.get("traffic")
+        if isinstance(traffic, dict):
+            data["traffic"] = TrafficProfile(**traffic)
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Run result
+# ----------------------------------------------------------------------
 class ScenarioRun:
-    """Everything an instrumented scenario run produced."""
+    """Everything an instrumented scenario run produced.
+
+    ``summary`` is the scenario-kind-specific result dict (e.g. the
+    chaos gauntlet's robustness numbers, the upgrade campaign's report);
+    ``digest()`` canonicalizes metrics + summary to JSON and hashes
+    them, which is what the sharded runner compares across worker
+    counts.
+    """
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Simulator | None,
         registry: MetricsRegistry,
         modules: list[FlexSFPModule],
         tracer: Tracer | None,
         profiler: LoopProfiler | None,
+        spec: ScenarioSpec | None = None,
+        summary: dict | None = None,
     ) -> None:
         self.sim = sim
         self.registry = registry
         self.modules = modules
         self.tracer = tracer
         self.profiler = profiler
+        self.spec = spec
+        self.summary = summary if summary is not None else {}
 
     @property
     def module(self) -> FlexSFPModule:
@@ -52,38 +221,78 @@ class ScenarioRun:
     def metrics(self) -> dict:
         return self.registry.collect()
 
+    def histograms(self) -> dict[str, dict]:
+        """Raw latency-histogram states, keyed by full metric name.
 
-def _run(
-    module_count: int,
-    duration_s: float,
-    rate_bps: float,
-    frame_len: int,
-    fastpath: bool,
-    batch_size: int,
-    trace_packets: int | None,
-    profile: bool,
-) -> ScenarioRun:
+        Bucket counts (not just percentiles) — the mergeable form the
+        sharded runner needs for exact histogram-merge across a fleet.
+        """
+        states: dict[str, dict] = {}
+        for module in self.modules:
+            histogram = module.ppe.latency_ns
+            name = f"{module.name}.ppe.{module.app.name}.latency_ns"
+            states[name] = {
+                "bounds": list(histogram.bounds),
+                "counts": list(histogram.counts),
+            }
+        return states
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of metrics + summary.
+
+        Wall-clock-derived profiler metrics (``sim.profile.*``) are
+        excluded — a digest must compare equal across reruns and worker
+        placements, and only virtual-time results qualify.
+        """
+        metrics = {
+            name: value
+            for name, value in self.metrics().items()
+            if not name.startswith("sim.profile.")
+        }
+        payload = {
+            "metrics": metrics,
+            "summary": self.summary,
+            "histograms": self.histograms(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# NAT scenario builders (the §5.1 quick configs)
+# ----------------------------------------------------------------------
+def _make_app(spec: ScenarioSpec, index: int):
+    if spec.app == "nat":
+        nat = StaticNat(capacity=1024)
+        nat.add_mapping(f"10.0.0.{index + 1}", f"198.51.100.{index + 1}")
+        return nat
+    return create_app(spec.app)
+
+
+def _build_nat(spec: ScenarioSpec, module_count: int) -> ScenarioRun:
+    traffic = spec.traffic
     sim = Simulator()
     registry = MetricsRegistry()
-    tracer = Tracer(limit=trace_packets) if trace_packets is not None else None
-    profiler = LoopProfiler() if profile else None
+    tracer = Tracer(limit=spec.trace_packets) if spec.trace_packets is not None else None
+    profiler = LoopProfiler() if spec.profile else None
     if profiler is not None:
         sim.profiler = profiler
         registry.register("sim.profile", profiler)
     registry.register_value("sim.events", lambda: sim.events_processed)
 
+    device = get_device(spec.device)
+    batch_size = spec.batch_size
     modules: list[FlexSFPModule] = []
     previous_port: Port | None = None
     for index in range(module_count):
-        nat = StaticNat(capacity=1024)
-        nat.add_mapping(f"10.0.0.{index + 1}", f"198.51.100.{index + 1}")
         module = FlexSFPModule(
             sim,
             f"module{index}",
-            nat,
+            _make_app(spec, index),
+            device=device,
             auth_key=SCENARIO_KEY,
             device_id=index,
-            fastpath=fastpath,
+            fastpath=spec.fastpath,
             batch_size=batch_size,
         )
         module.register_metrics(registry)
@@ -97,11 +306,11 @@ def _run(
         registry.register("trace", tracer)
 
     host = Port(
-        sim, "host", rate_bps=rate_bps, queue_bytes=1 << 22,
+        sim, "host", rate_bps=traffic.rate_bps, queue_bytes=1 << 22,
         coalesce=batch_size > 1,
     )
     fiber = Port(
-        sim, "fiber", rate_bps=rate_bps, queue_bytes=1 << 22,
+        sim, "fiber", rate_bps=traffic.rate_bps, queue_bytes=1 << 22,
         batch_rx=batch_size > 1,
     )
     connect(host, modules[0].edge_port)
@@ -109,50 +318,215 @@ def _run(
     registry.register("host", host)
     registry.register("fiber", fiber)
 
-    template = make_udp(src_ip="10.0.0.1", payload=bytes(max(0, frame_len - 42)))
+    template = make_udp(
+        src_ip="10.0.0.1", payload=bytes(max(0, traffic.frame_len - 42))
+    )
     CbrSource(
         sim,
         host,
-        rate_bps=rate_bps,
-        frame_len=frame_len,
-        stop=duration_s,
+        rate_bps=traffic.rate_bps,
+        frame_len=traffic.frame_len,
+        stop=traffic.duration_s,
         factory=lambda index, size: template.copy(),
         burst=batch_size if batch_size > 1 else 1,
     )
-    sim.run(until=duration_s + 0.1e-3)
-    return ScenarioRun(sim, registry, modules, tracer, profiler)
+    sim.run(until=traffic.duration_s + 0.1e-3)
+    summary = {
+        "kind": spec.kind,
+        "modules": module_count,
+        "delivered": fiber.rx.snapshot(),
+        "sim_events": sim.events_processed,
+    }
+    return ScenarioRun(
+        sim, registry, modules, tracer, profiler, spec=spec, summary=summary
+    )
 
 
-def run_nat_linerate(
-    duration_s: float = DEFAULT_DURATION_S,
-    rate_bps: float = 10e9,
-    frame_len: int = 60,
-    fastpath: bool = False,
-    batch_size: int = 1,
-    trace_packets: int | None = None,
-    profile: bool = False,
-) -> ScenarioRun:
+def _build_nat_linerate(spec: ScenarioSpec) -> ScenarioRun:
+    return _build_nat(spec, module_count=1)
+
+
+def _build_nat_chain(spec: ScenarioSpec) -> ScenarioRun:
+    return _build_nat(spec, module_count=2)
+
+
+# ----------------------------------------------------------------------
+# Chaos gauntlet as a scenario kind
+# ----------------------------------------------------------------------
+def _build_chaos(spec: ScenarioSpec) -> ScenarioRun:
+    from ..faults.gauntlet import run_gauntlet  # deferred: avoids cycle
+
+    traffic = spec.traffic
+    registry = MetricsRegistry()
+    tracer = Tracer(limit=spec.trace_packets) if spec.trace_packets is not None else None
+    result = run_gauntlet(
+        seed=spec.seed,
+        plan=spec.fault_plan,
+        duration_s=traffic.duration_s,
+        traffic_bps=traffic.rate_bps,
+        frame_len=traffic.frame_len,
+        fastpath=spec.fastpath,
+        batch_size=spec.batch_size,
+        registry=registry,
+        tracer=tracer,
+    )
+    if tracer is not None:
+        registry.register("trace", tracer)
+    return ScenarioRun(
+        None, registry, [], tracer, None, spec=spec, summary=result.to_dict()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet upgrade campaign as a scenario kind
+# ----------------------------------------------------------------------
+FLEET_UPGRADE_MODULES = 2
+FLEET_UPGRADE_SETTLE_S = 0.25
+FLEET_UPGRADE_WINDOW_S = 3.0
+
+
+def _build_fleet_upgrade(spec: ScenarioSpec) -> ScenarioRun:
+    """A rolling-upgrade campaign over retrofitted legacy-switch ports.
+
+    Traffic flows host → switch → port-1 FlexSFP → sink for the whole
+    window while the :class:`~repro.fleet.FleetController` upgrades every
+    module from ``passthrough`` to ``spec.app``, one at a time with a
+    health probe between — the §4.1 orchestration story, instrumented.
+    """
+    from ..core.shells import ShellSpec
+    from ..fleet import FleetController  # deferred: avoids cycle
+    from ..hls import compile_app
+    from ..parallel.seeds import derive_shard_seed
+    from ..switch import LegacySwitch, PortPolicy, RetrofitPlan, apply_retrofit
+
+    traffic = spec.traffic
+    sim = Simulator()
+    registry = MetricsRegistry()
+    registry.register_value("sim.events", lambda: sim.events_processed)
+    profiler = LoopProfiler() if spec.profile else None
+    if profiler is not None:
+        sim.profiler = profiler
+        registry.register("sim.profile", profiler)
+
+    num_ports = FLEET_UPGRADE_MODULES + 2  # + controller port + host port
+    switch = LegacySwitch(sim, "agg", num_ports=num_ports, rate_bps=10e9)
+    plan = RetrofitPlan()
+    for port in range(1, FLEET_UPGRADE_MODULES + 1):
+        plan.assign(port, PortPolicy("passthrough"))
+    retrofit = apply_retrofit(
+        sim,
+        switch,
+        plan,
+        auth_key=SCENARIO_KEY,
+        fastpath=spec.fastpath,
+        batch_size=spec.batch_size,
+    )
+    retrofit.register_metrics(registry)
+    registry.register("switch", switch)
+
+    controller = FleetController(
+        sim,
+        auth_key=SCENARIO_KEY,
+        retry_seed=derive_shard_seed(spec.seed, 0, label="fleet-retry"),
+    )
+    controller.port.connect(switch.external_port(0))
+    controller.register_metrics(registry)
+
+    tracer = Tracer(limit=spec.trace_packets) if spec.trace_packets is not None else None
+    if tracer is not None:
+        for module in retrofit.modules.values():
+            module.attach_tracer(tracer)
+        registry.register("trace", tracer)
+
+    # Background data traffic through the first retrofitted port.
+    sink = Port(sim, "sink", rate_bps=10e9)
+    sink.connect(switch.external_port(1))
+    host = Port(sim, "host", rate_bps=10e9, queue_bytes=1 << 22)
+    host.connect(switch.external_port(FLEET_UPGRADE_MODULES + 1))
+    registry.register("sink", sink)
+    registry.register("host", host)
+    CbrSource(
+        sim,
+        host,
+        rate_bps=traffic.rate_bps,
+        frame_len=traffic.frame_len,
+        stop=traffic.duration_s,
+        factory=lambda index, size: make_udp(
+            src_ip="10.0.0.1",
+            dst_ip="8.8.8.8",
+            payload=bytes(max(0, size - 42)),
+        ),
+    )
+
+    target = create_app(spec.app)
+    target_build = compile_app(target, ShellSpec())
+    macs = [retrofit.module_at(p).mgmt_mac for p in sorted(retrofit.modules)]
+    reports: list = []
+    controller.rolling_upgrade(
+        macs,
+        target_build.bitstream,
+        slot=1,
+        on_done=reports.append,
+        settle_s=FLEET_UPGRADE_SETTLE_S,
+    )
+    sim.run(until=max(traffic.duration_s, FLEET_UPGRADE_WINDOW_S))
+
+    report = reports[0] if reports else None
+    summary = {
+        "kind": spec.kind,
+        "target_app": spec.app,
+        "campaign_done": bool(reports),
+        "upgraded": list(report.upgraded) if report else [],
+        "failed": [list(item) for item in report.failed] if report else [],
+        "rolled_back": list(report.rolled_back) if report else [],
+        "ok": bool(report and report.ok),
+        "delivered": sink.rx.snapshot(),
+    }
+    modules = [retrofit.module_at(p) for p in sorted(retrofit.modules)]
+    return ScenarioRun(
+        sim, registry, modules, tracer, profiler, spec=spec, summary=summary
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry of scenario kinds + legacy entry points
+# ----------------------------------------------------------------------
+SCENARIO_KINDS: dict[str, Callable[[ScenarioSpec], ScenarioRun]] = {
+    "nat-linerate": _build_nat_linerate,
+    "nat-chain": _build_nat_chain,
+    "chaos": _build_chaos,
+    "fleet-upgrade": _build_fleet_upgrade,
+}
+
+
+def _legacy_spec(name: str, **kwargs) -> ScenarioSpec:
+    """Map the old ``run_scenario`` keyword surface onto a spec."""
+    traffic_kwargs = {}
+    for key, target in (
+        ("duration_s", "duration_s"),
+        ("rate_bps", "rate_bps"),
+        ("frame_len", "frame_len"),
+    ):
+        if key in kwargs:
+            traffic_kwargs[target] = kwargs.pop(key)
+    traffic = (
+        replace(_KIND_TRAFFIC.get(name, TrafficProfile()), **traffic_kwargs)
+        if traffic_kwargs
+        else None
+    )
+    spec = ScenarioSpec(kind=name, traffic=traffic, **kwargs)
+    spec.validate()
+    return spec
+
+
+def run_nat_linerate(**kwargs) -> ScenarioRun:
     """The §5.1 quick NAT line-rate config, fully instrumented."""
-    return _run(
-        1, duration_s, rate_bps, frame_len, fastpath, batch_size,
-        trace_packets, profile,
-    )
+    return _legacy_spec("nat-linerate", **kwargs).run()
 
 
-def run_nat_chain(
-    duration_s: float = DEFAULT_DURATION_S,
-    rate_bps: float = 10e9,
-    frame_len: int = 60,
-    fastpath: bool = False,
-    batch_size: int = 1,
-    trace_packets: int | None = None,
-    profile: bool = False,
-) -> ScenarioRun:
+def run_nat_chain(**kwargs) -> ScenarioRun:
     """Two chained NAT modules — the trace demo for multi-hop cables."""
-    return _run(
-        2, duration_s, rate_bps, frame_len, fastpath, batch_size,
-        trace_packets, profile,
-    )
+    return _legacy_spec("nat-chain", **kwargs).run()
 
 
 SCENARIOS = {
@@ -162,10 +536,6 @@ SCENARIOS = {
 
 
 def run_scenario(name: str, **kwargs) -> ScenarioRun:
-    """Run a named scenario; unknown names raise :class:`ConfigError`."""
-    builder = SCENARIOS.get(name)
-    if builder is None:
-        raise ConfigError(
-            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
-        )
-    return builder(**kwargs)
+    """Deprecated string-dispatch shim; use :meth:`ScenarioSpec.run`."""
+    warn_deprecated("run_scenario()", "ScenarioSpec(kind=...).run()")
+    return _legacy_spec(name, **kwargs).run()

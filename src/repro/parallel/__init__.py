@@ -1,0 +1,43 @@
+"""Sharded fleet-scale simulation: deterministic fan-out, exact fan-in.
+
+The paper's deployment story is a *fleet* of FlexSFP modules, not one;
+this package runs N independent scenario shards across OS processes and
+merges their metrics into one fleet-wide view that is bit-identical to
+the sequential run — per-shard seeds are derived, not drawn, and the
+metric merge is a commutative/associative fold.
+"""
+
+from .merge import (
+    MergeKind,
+    classify,
+    histogram_percentile,
+    merge_histogram_states,
+    merge_metrics,
+    merge_values,
+)
+from .runner import (
+    SHARD_SEED_LABEL,
+    FleetRunResult,
+    ShardResult,
+    run_shard,
+    run_sharded,
+    shard_spec,
+)
+from .seeds import derive_shard_seed, shard_seeds
+
+__all__ = [
+    "FleetRunResult",
+    "MergeKind",
+    "SHARD_SEED_LABEL",
+    "ShardResult",
+    "classify",
+    "derive_shard_seed",
+    "histogram_percentile",
+    "merge_histogram_states",
+    "merge_metrics",
+    "merge_values",
+    "run_shard",
+    "run_sharded",
+    "shard_spec",
+    "shard_seeds",
+]

@@ -88,7 +88,8 @@ def apply_retrofit(
     Ports must not have external cables connected yet (modules go into the
     cages first, then cables plug into the modules' optical sides).
     ``fastpath``/``batch_size`` are forwarded to every module (None keeps
-    the FLEXSFP_FASTPATH/FLEXSFP_BATCH environment defaults).
+    the :class:`~repro.config.Settings` environment defaults,
+    FLEXSFP_FASTPATH/FLEXSFP_BATCH).
     """
     modules: dict[int, FlexSFPModule] = {}
     for port_index, policy in sorted(plan.policies.items()):

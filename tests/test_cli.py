@@ -195,6 +195,85 @@ class TestJsonOutput:
         assert len(doc["spans"]) == 10
 
 
+class TestRunSubcommand:
+    def test_run_json_document(self, capsys):
+        code, doc = run_json(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "2",
+            "--workers", "1", "--seed", "3",
+        )
+        assert code == 0
+        assert doc["schema"] == "flexsfp.fleet/1"
+        assert doc["spec"]["kind"] == "nat-linerate"
+        assert doc["spec"]["shards"] == 2
+        assert len(doc["shards"]) == 2
+        assert doc["digests"] == [s["digest"] for s in doc["shards"]]
+        assert doc["merged_metrics"]["fiber.rx.packets"] > 0
+        assert "module0.ppe.nat.latency_ns" in doc["merged_histograms"]
+
+    def test_run_text_table(self, capsys):
+        code, out, _ = run(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "2",
+            "--workers", "1",
+        )
+        assert code == 0
+        assert "2 shard(s), 1 worker(s)" in out
+        assert "merged metric" in out
+
+    def test_run_writes_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "fleet.json"
+        code, _, _ = run(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "1",
+            "--workers", "1", "--out", str(artifact),
+        )
+        assert code == 0
+        doc = json.loads(artifact.read_text())
+        assert doc["schema"] == "flexsfp.fleet/1"
+        assert len(doc["shards"]) == 1
+
+    def test_run_bad_shards_rejected(self, capsys):
+        code, _, err = run(capsys, "run", "--shards", "0", "--workers", "1")
+        assert code == 2
+        assert "shards" in err
+
+
+class TestDeprecationGate:
+    def test_metrics_clean_path_passes(self, capsys):
+        code, out, _ = run(capsys, "metrics", "--fail-on-deprecated")
+        assert code == 0
+        assert "flexsfp_module0_ppe_nat_processed_packets" in out
+
+    def test_metrics_gate_fails_on_deprecated_call(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro._util import warn_deprecated
+        from repro.obs import ScenarioSpec
+
+        class NoisySpec(ScenarioSpec):
+            def run(self):
+                warn_deprecated("stats()", "metric_values()")
+                return super().run()
+
+        monkeypatch.setattr(cli_module, "ScenarioSpec", NoisySpec)
+        code, _, err = run(capsys, "metrics", "--fail-on-deprecated")
+        assert code == 3
+        assert "stats() is deprecated" in err
+        assert "1 deprecated call(s)" in err
+
+    def test_without_gate_deprecated_calls_tolerated(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro._util import warn_deprecated
+        from repro.obs import ScenarioSpec
+
+        class NoisySpec(ScenarioSpec):
+            def run(self):
+                warn_deprecated("stats()", "metric_values()")
+                return super().run()
+
+        monkeypatch.setattr(cli_module, "ScenarioSpec", NoisySpec)
+        code, out, _ = run(capsys, "metrics")
+        assert code == 0
+        assert "flexsfp_" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

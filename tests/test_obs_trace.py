@@ -11,8 +11,8 @@ from repro.obs import (
     STAGE_MAC_RX,
     STAGE_PPE,
     LoopProfiler,
+    ScenarioSpec,
     Tracer,
-    run_scenario,
 )
 from repro.packet import make_udp
 from repro.sim import Simulator
@@ -71,13 +71,13 @@ class TestTracerUnit:
 
 class TestScenarioTracing:
     def test_single_module_pipeline_order(self):
-        run = run_scenario("nat-linerate", trace_packets=2)
+        run = ScenarioSpec(trace_packets=2).run()
         assert run.tracer.trace_ids() == [0, 1]
         for trace_id in (0, 1):
             assert run.tracer.stages(trace_id) == PIPELINE
 
     def test_two_module_chain_span_ordering(self):
-        run = run_scenario("nat-chain", trace_packets=1)
+        run = ScenarioSpec(kind="nat-chain", trace_packets=1).run()
         spans = run.tracer.spans_for(0)
         # The packet crosses the full pipeline twice, in order.
         assert [s.stage for s in spans] == PIPELINE + PIPELINE
@@ -90,14 +90,14 @@ class TestScenarioTracing:
         assert spans[5].start_ns > spans[4].start_ns
 
     def test_nat_mutation_recorded(self):
-        run = run_scenario("nat-linerate", trace_packets=1)
+        run = ScenarioSpec(trace_packets=1).run()
         app_spans = [s for s in run.tracer.spans_for(0) if s.stage == STAGE_APP]
         assert len(app_spans) == 1
         assert app_spans[0].detail["verdict"] == "pass"
         assert "ipv4.src" in app_spans[0].detail["mutations"]
 
     def test_fastpath_hit_miss_detail(self):
-        run = run_scenario("nat-linerate", trace_packets=3, fastpath=True)
+        run = ScenarioSpec(trace_packets=3, fastpath=True).run()
         ppe_spans = [
             s
             for trace_id in run.tracer.trace_ids()
@@ -109,13 +109,13 @@ class TestScenarioTracing:
         assert "hit" in outcomes[1:]
 
     def test_batched_engine_traces_same_stages(self):
-        run = run_scenario(
-            "nat-linerate", trace_packets=1, fastpath=True, batch_size=8
-        )
+        run = ScenarioSpec(
+            trace_packets=1, fastpath=True, batch_size=8
+        ).run()
         assert run.tracer.stages(0) == PIPELINE
 
     def test_trace_metrics_in_registry(self):
-        run = run_scenario("nat-linerate", trace_packets=2)
+        run = ScenarioSpec(trace_packets=2).run()
         metrics = run.metrics()
         assert metrics["trace.traced_packets"] == 2
         assert metrics["trace.spans"] == 10
@@ -151,7 +151,7 @@ class TestLoopProfiler:
         assert rows[0]["share"] == pytest.approx(1.0)
 
     def test_scenario_profile_metrics(self):
-        run = run_scenario("nat-linerate", profile=True)
+        run = ScenarioSpec(profile=True).run()
         metrics = run.metrics()
         calls = [
             name for name in metrics

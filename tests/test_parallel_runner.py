@@ -1,0 +1,128 @@
+"""The sharded runner: K workers bit-identical to the sequential fold."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import ScenarioSpec, TrafficProfile
+from repro.parallel import (
+    FleetRunResult,
+    run_shard,
+    run_sharded,
+    shard_spec,
+)
+from repro.parallel.runner import _pick_start_method
+
+# A fast chaos fleet: seed-dependent (LossyWire draws differ per shard)
+# so shard digests are genuinely distinct, yet short enough for CI.
+CHAOS = ScenarioSpec(
+    kind="chaos",
+    seed=7,
+    shards=3,
+    fault_plan="smoke",
+    traffic=TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=0.4),
+)
+NAT = ScenarioSpec(
+    kind="nat-linerate", seed=3, shards=2,
+    traffic=TrafficProfile(duration_s=0.1e-3),
+)
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_sharded(CHAOS, workers=1)
+
+
+class TestSequential:
+    def test_shape(self, sequential):
+        assert isinstance(sequential, FleetRunResult)
+        assert sequential.workers == 1
+        assert [s.index for s in sequential.shards] == [0, 1, 2]
+        assert len(sequential.digests) == 3
+
+    def test_shards_are_distinct_workloads(self, sequential):
+        assert len(set(sequential.digests)) == 3
+        assert len({s.seed for s in sequential.shards}) == 3
+
+    def test_rerun_is_bit_identical(self, sequential):
+        again = run_sharded(CHAOS, workers=1)
+        assert again.digests == sequential.digests
+        assert again.merged_metrics == sequential.merged_metrics
+        assert again.merged_histograms == sequential.merged_histograms
+
+    def test_merged_counters_sum_shards(self, sequential):
+        name = "sink.rx.packets"
+        total = sum(s.metrics[name] for s in sequential.shards)
+        assert sequential.merged_metrics[name] == total
+        assert total > 0
+
+    def test_to_dict_round_trips_spec(self, sequential):
+        payload = sequential.to_dict()
+        assert payload["digests"] == list(sequential.digests)
+        rebuilt = ScenarioSpec.from_dict(payload["spec"])
+        assert rebuilt == sequential.spec
+
+
+class TestParallel:
+    def test_workers_bit_identical_to_sequential(self, sequential):
+        parallel = run_sharded(CHAOS, workers=2)
+        assert parallel.workers == 2
+        assert parallel.digests == sequential.digests
+        assert parallel.merged_metrics == sequential.merged_metrics
+        assert parallel.merged_histograms == sequential.merged_histograms
+        assert [s.to_dict() for s in parallel.shards] == [
+            s.to_dict() for s in sequential.shards
+        ]
+
+    def test_spawn_start_method_identical(self, sequential):
+        parallel = run_sharded(CHAOS, workers=2, start_method="spawn")
+        assert parallel.digests == sequential.digests
+        assert parallel.merged_metrics == sequential.merged_metrics
+
+    def test_nat_shards_parallel(self):
+        seq = run_sharded(NAT, workers=1)
+        par = run_sharded(NAT, workers=2)
+        assert par.digests == seq.digests
+        assert par.merged_metrics == seq.merged_metrics
+        # NAT scenarios are seed-independent by design (test_cli pins
+        # their topology), so every shard replays identically.
+        assert len(set(seq.digests)) == 1
+
+
+class TestSpecPlumbing:
+    def test_shard_spec_derives_seed_and_collapses_shards(self):
+        single = shard_spec(CHAOS, 1)
+        assert single.shards == 1
+        assert single.seed != CHAOS.seed
+        assert shard_spec(CHAOS, 1) == single
+
+    def test_run_shard_matches_direct_run(self):
+        result = run_shard((NAT.resolved(), 0))
+        direct = shard_spec(NAT.resolved(), 0).run()
+        assert result.digest == direct.digest()
+        assert result.metrics == direct.metrics()
+
+    def test_spec_run_sharded_entry_point(self):
+        result = NAT.run_sharded(workers=1)
+        assert isinstance(result, FleetRunResult)
+        assert len(result.shards) == 2
+
+    def test_env_workers_default(self, monkeypatch):
+        monkeypatch.setenv("FLEXSFP_WORKERS", "2")
+        result = run_sharded(NAT)
+        assert result.workers == 2
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            run_sharded(NAT, workers=0)
+
+    def test_unavailable_start_method_rejected(self):
+        with pytest.raises(ConfigError):
+            _pick_start_method("not-a-method")
+
+    def test_resolution_happens_in_parent(self, monkeypatch):
+        # Env knobs fold into the spec before fan-out: the resolved spec
+        # the workers execute carries concrete values, never None.
+        monkeypatch.setenv("FLEXSFP_BATCH", "4")
+        result = run_sharded(NAT, workers=1)
+        assert result.spec.batch_size == 4
+        assert result.spec.fastpath is False

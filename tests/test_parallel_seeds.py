@@ -1,0 +1,60 @@
+"""Shard-seed derivation: deterministic, well-separated, platform-free."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.parallel import derive_shard_seed, shard_seeds
+
+roots = st.integers(min_value=0, max_value=2**63 - 1)
+indices = st.integers(min_value=0, max_value=4096)
+
+
+class TestDeriveShardSeed:
+    @given(root=roots, index=indices)
+    def test_deterministic(self, root, index):
+        assert derive_shard_seed(root, index) == derive_shard_seed(root, index)
+
+    @given(root=roots, a=indices, b=indices)
+    def test_distinct_shards_distinct_seeds(self, root, a, b):
+        if a != b:
+            assert derive_shard_seed(root, a) != derive_shard_seed(root, b)
+
+    @given(a=roots, b=roots, index=indices)
+    def test_distinct_roots_distinct_seeds(self, a, b, index):
+        if a != b:
+            assert derive_shard_seed(a, index) != derive_shard_seed(b, index)
+
+    @given(root=roots, index=indices)
+    def test_labels_are_independent_streams(self, root, index):
+        assert derive_shard_seed(root, index, label="shard") != derive_shard_seed(
+            root, index, label="fleet-retry"
+        )
+
+    @given(root=roots, index=indices)
+    def test_range(self, root, index):
+        seed = derive_shard_seed(root, index)
+        assert 0 <= seed < 2**63
+
+    def test_known_value_is_pinned(self):
+        # A golden value: if the derivation ever changes, every recorded
+        # fleet digest in CI artifacts silently stops reproducing.
+        assert derive_shard_seed(1, 0) == 2140984783904542072
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            derive_shard_seed(1, -1)
+
+
+class TestShardSeeds:
+    @given(root=roots, count=st.integers(min_value=1, max_value=64))
+    def test_matches_elementwise_derivation(self, root, count):
+        seeds = shard_seeds(root, count)
+        assert len(seeds) == count
+        assert list(seeds) == [derive_shard_seed(root, i) for i in range(count)]
+        assert len(set(seeds)) == count
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError):
+            shard_seeds(1, 0)
