@@ -49,6 +49,7 @@ def _export_metrics(tag: str, module, host, fiber) -> None:
     directory = get_settings().metrics_dir
     if directory is None:
         return
+    from repro._util import write_text_atomic
     from repro.obs import MetricsRegistry, metrics_jsonl, prometheus_text
 
     registry = MetricsRegistry()
@@ -58,8 +59,9 @@ def _export_metrics(tag: str, module, host, fiber) -> None:
     metrics = registry.collect()
     out = directory
     out.mkdir(parents=True, exist_ok=True)
-    (out / f"{tag}.jsonl").write_text(metrics_jsonl(metrics) + "\n")
-    (out / f"{tag}.prom").write_text(prometheus_text(metrics))
+    # Atomic: a benchmark killed mid-export never leaves CI a torn artifact.
+    write_text_atomic(out / f"{tag}.jsonl", metrics_jsonl(metrics) + "\n")
+    write_text_atomic(out / f"{tag}.prom", prometheus_text(metrics))
 
 
 def run_nat(

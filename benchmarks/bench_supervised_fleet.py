@@ -1,0 +1,120 @@
+"""Supervised fleet execution — exactness and cost of surviving chaos.
+
+The supervisor's pitch is robustness *without* a results tax: a fleet
+run that loses workers to crashes, hangs, and corrupt results must merge
+the exact bits an undisturbed run produces (retried shards recompute the
+same result because shard seeds are a pure function of root seed and
+index), and a run that never faults should pay only process-lifecycle
+overhead for the privilege of being supervised.  This benchmark measures
+both:
+
+* **Exactness under fire** — a run with a scripted kill/raise/corrupt
+  schedule merges metrics, histograms, and per-shard digests
+  bit-identical to the undisturbed baseline, with every injected fault
+  visible in the supervision counters.
+* **Recovery cost** — the chaos run's wall time exceeds the undisturbed
+  run only by the retried shards' re-execution plus bounded backoff;
+  the report shows both so regressions in retry latency are visible.
+* **Checkpoint/resume** — a journalled run that permanently loses one
+  shard resumes to completion by re-executing only the missing shard
+  and reproduces the baseline digests exactly.
+"""
+
+import os
+
+from common import report
+from repro.faults import WorkerFaultPlan
+from repro.obs import ScenarioSpec, TrafficProfile
+from repro.parallel import SupervisorPolicy, load_journal, run_supervised
+
+SEED = 17
+SHARDS = 8
+WORKERS = 4
+
+SPEC = ScenarioSpec(
+    kind="chaos",
+    seed=SEED,
+    shards=SHARDS,
+    fault_plan="smoke",
+    traffic=TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=0.4),
+)
+
+# One of each fast fault, spread over distinct shards' first attempts.
+CHAOS = WorkerFaultPlan.scripted({
+    (1, 1): "worker_kill",
+    (3, 1): "worker_raise",
+    (5, 1): "worker_corrupt",
+})
+
+POLICY = SupervisorPolicy(
+    max_retries=2, backoff_s=0.01, heartbeat_s=0.1,
+    heartbeat_misses=100, poll_s=0.02,
+)
+
+
+def compute_all():
+    baseline = run_supervised(SPEC, workers=WORKERS, policy=POLICY)
+    chaotic = run_supervised(SPEC, workers=WORKERS, policy=POLICY, chaos=CHAOS)
+    return baseline, chaotic
+
+
+def test_supervised_chaos_exactness(benchmark):
+    baseline, chaotic = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+    overhead = (
+        chaotic.wall_s / baseline.wall_s if baseline.wall_s else float("inf")
+    )
+    rows = [
+        (
+            label,
+            result.supervisor["launched"],
+            result.supervisor["retries"],
+            f"{result.wall_s:.2f}",
+            "yes" if result.ok else "no",
+        )
+        for label, result in (("undisturbed", baseline), ("chaos", chaotic))
+    ]
+    rows.append(("recovery cost", "-", "-", f"{overhead:.2f}x", "-"))
+    report(
+        f"Supervised fleet: chaos x{SHARDS} shards, {WORKERS} workers, "
+        f"{len(CHAOS)} injected faults (seed={SEED}, {os.cpu_count()} CPUs)",
+        ("run", "launched", "retries", "wall s", "complete"),
+        rows,
+    )
+
+    # Exactness: chaos, retries, and supervision never show through.
+    assert chaotic.ok and baseline.ok
+    assert chaotic.digests == baseline.digests
+    assert chaotic.merged_metrics == baseline.merged_metrics
+    assert chaotic.merged_histograms == baseline.merged_histograms
+    # Every injected fault was seen, classified, and retried.
+    assert chaotic.supervisor["crashes"] == 1
+    assert chaotic.supervisor["worker_errors"] == 1
+    assert chaotic.supervisor["corrupt_results"] == 1
+    assert chaotic.supervisor["retries"] == len(CHAOS)
+    assert chaotic.supervisor["launched"] == SHARDS + len(CHAOS)
+    # The undisturbed run paid no retries for being supervised.
+    assert baseline.supervisor["retries"] == 0
+    assert baseline.supervisor["launched"] == SHARDS
+
+
+def test_supervised_resume_reproduces_baseline(tmp_path):
+    baseline = run_supervised(SPEC, workers=WORKERS, policy=POLICY)
+    journal = tmp_path / "campaign.jsonl"
+    # Shard 2 exhausts its whole retry budget: the run degrades to partial.
+    lethal = WorkerFaultPlan.scripted({
+        (2, attempt): "worker_kill" for attempt in (1, 2, 3)
+    })
+    partial = run_supervised(
+        SPEC, workers=WORKERS, policy=POLICY, checkpoint=journal, chaos=lethal
+    )
+    assert not partial.ok
+    assert partial.completeness.failed_indices == (2,)
+    _, completed = load_journal(journal)
+    assert sorted(completed) == [i for i in range(SHARDS) if i != 2]
+
+    resumed = run_supervised(SPEC, workers=WORKERS, policy=POLICY, resume=journal)
+    assert resumed.ok
+    assert resumed.supervisor["launched"] == 1  # only the missing shard
+    assert resumed.supervisor["resumed"] == SHARDS - 1
+    assert resumed.digests == baseline.digests
+    assert resumed.merged_metrics == baseline.merged_metrics

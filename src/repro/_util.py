@@ -105,6 +105,36 @@ def clamp(value: float, low: float, high: float) -> float:
     return max(low, min(high, value))
 
 
+def write_text_atomic(path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    A reader (or a run killed mid-write) never observes a truncated
+    document: the content lands under a temporary name, is flushed and
+    fsynced, and only then renamed over the target — ``os.replace`` is
+    atomic on POSIX and Windows alike.
+    """
+    import os
+    import tempfile
+    from pathlib import Path
+
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 DEPRECATION_REMOVAL_VERSION = "2.0"
 """The release in which the legacy ``stats()``-era shims disappear."""
 

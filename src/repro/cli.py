@@ -15,6 +15,10 @@ exposes the toolkit's analysis surface without writing any code:
 * ``check`` — static verification: IR rules and XDP-program analysis over
   applications and example sources, or (``--self``) the determinism
   linter over the toolkit's own sim-critical source.
+* ``run`` — supervised sharded fleet run: per-shard deadlines, bounded
+  deterministic retry, ``--checkpoint``/``--resume`` journalling, and a
+  distinct exit code (``4``) when retries were exhausted and the merged
+  artifact is explicitly partial.
 
 Every subcommand accepts ``--json``: the human table renderer is swapped
 for a single canonical ``flexsfp.table/1`` (or metrics/trace-schema) JSON
@@ -29,6 +33,7 @@ import sys
 import warnings
 from pathlib import Path
 
+from ._util import write_text_atomic
 from .analysis import (
     check_app,
     default_lint_root,
@@ -66,6 +71,10 @@ from .obs import (
 from .testbed import PowerTestbed
 
 _SHELLS = {kind.value: kind for kind in ShellKind}
+
+# Exit codes beyond the usual 0/1/2: a supervised fleet run that lost
+# shards completes and writes its artifact, but says so unmistakably.
+EXIT_PARTIAL = 4
 
 
 # ----------------------------------------------------------------------
@@ -481,23 +490,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from .parallel import run_sharded
+    from dataclasses import replace as _replace
 
-    spec = ScenarioSpec(
-        kind=args.scenario,
-        seed=args.seed,
-        shards=args.shards,
-        fault_plan=args.plan,
-        fastpath=True if args.fastpath else None,
-        batch_size=args.batch if args.batch else None,
+    from .config import get_settings
+    from .parallel import SupervisorPolicy, load_journal, run_sharded
+
+    if args.resume is not None:
+        # The journal *is* the spec: resume re-runs exactly what the
+        # interrupted campaign recorded, never what today's flags say.
+        spec, _completed = load_journal(args.resume)
+    else:
+        spec = ScenarioSpec(
+            kind=args.scenario,
+            seed=args.seed,
+            shards=args.shards,
+            fault_plan=args.plan,
+            fastpath=True if args.fastpath else None,
+            batch_size=args.batch if args.batch else None,
+        )
+    policy = None
+    if args.shard_timeout is not None or args.max_retries is not None:
+        policy = SupervisorPolicy.from_settings(get_settings())
+        if args.shard_timeout is not None:
+            policy = _replace(
+                policy,
+                shard_timeout_s=args.shard_timeout if args.shard_timeout > 0 else None,
+            )
+        if args.max_retries is not None:
+            policy = _replace(policy, max_retries=args.max_retries)
+    result = run_sharded(
+        spec,
+        workers=args.workers,
+        start_method=args.start_method,
+        policy=policy,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
-    result = run_sharded(spec, workers=args.workers, start_method=args.start_method)
     document = json_document(SCHEMA_FLEET, **result.to_dict())
     if args.out is not None:
-        Path(args.out).write_text(document + "\n")
+        # Atomic: a run killed mid-write never leaves a truncated artifact.
+        write_text_atomic(args.out, document + "\n")
+    exit_code = 0 if result.ok else EXIT_PARTIAL
     if args.json:
         print(document)
-        return 0
+        return exit_code
     print(
         f"{spec.kind} x{result.spec.shards} shard(s), {result.workers} worker(s), "
         f"seed={result.spec.seed} ({result.wall_s:.2f} s)"
@@ -513,9 +549,29 @@ def cmd_run(args: argparse.Namespace) -> int:
     for name, state in result.merged_histograms.items():
         total = sum(state["counts"])
         print(f"histogram {name}: {total} samples across {len(state['bounds'])} buckets")
+    completeness = result.completeness
+    if completeness is not None:
+        if completeness.resumed:
+            print(
+                f"resumed {len(completeness.resumed)} shard(s) from checkpoint: "
+                f"{list(completeness.resumed)}"
+            )
+        if completeness.retries:
+            print(f"supervisor retries: {completeness.retries}")
+        if not completeness.ok:
+            print(
+                f"PARTIAL RESULT: {completeness.completed}/{completeness.shards} "
+                f"shards completed; failed: {list(completeness.failed_indices)}"
+            )
+            for failure in completeness.failed:
+                print(
+                    f"  shard {failure.index} (seed {failure.seed}) gave up "
+                    f"after {failure.attempts} attempt(s): "
+                    f"{', '.join(failure.reasons)}"
+                )
     if args.out is not None:
         print(f"wrote {args.out}")
-    return 0
+    return exit_code
 
 
 # ----------------------------------------------------------------------
@@ -740,7 +796,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="FILE",
         default=None,
-        help="also write the flexsfp.fleet/1 JSON document to FILE",
+        help="also write the flexsfp.fleet/1 JSON document to FILE "
+        "(atomic: temp file + rename)",
+    )
+    run.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        dest="shard_timeout",
+        metavar="SECONDS",
+        help="per-shard deadline; hung/straggling workers are killed and "
+        "retried (0 disables; default: FLEXSFP_SHARD_TIMEOUT)",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        dest="max_retries",
+        metavar="N",
+        help="retries per failed shard beyond the first attempt "
+        "(default: FLEXSFP_MAX_RETRIES, then 2)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="journal each completed shard to FILE (flexsfp.journal/1 "
+        "JSON Lines) so a killed run can be resumed",
+    )
+    run.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume from a checkpoint journal: re-run only its missing/"
+        "failed shards (the journalled spec wins over scenario flags) and "
+        "keep journalling into the same file",
     )
     run.set_defaults(func=cmd_run)
 

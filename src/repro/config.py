@@ -9,14 +9,18 @@ constructed instead of re-read scalar by scalar.
 
 Recognized variables:
 
-========================  =====================================================
-``FLEXSFP_FASTPATH``      flow-cache fast path default (``1/true/on/yes``)
-``FLEXSFP_BATCH``         PPE batch size default (integer ≥ 1)
-``FLEXSFP_METRICS_DIR``   benchmark metrics-artifact export directory
-``FLEXSFP_WORKERS``       default worker count for sharded scenario runs
-``FLEXSFP_MP_START``      multiprocessing start method (``fork``/``spawn``/
-                          ``forkserver``); unset picks the best available
-========================  =====================================================
+=========================  ====================================================
+``FLEXSFP_FASTPATH``       flow-cache fast path default (``1/true/on/yes``)
+``FLEXSFP_BATCH``          PPE batch size default (integer ≥ 1)
+``FLEXSFP_METRICS_DIR``    benchmark metrics-artifact export directory
+``FLEXSFP_WORKERS``        default worker count for sharded scenario runs
+``FLEXSFP_MP_START``       multiprocessing start method (``fork``/``spawn``/
+                           ``forkserver``); unset picks the best available
+``FLEXSFP_SHARD_TIMEOUT``  per-shard deadline in seconds for supervised runs
+                           (float > 0; unset/0 disables the deadline)
+``FLEXSFP_MAX_RETRIES``    retries per failed shard beyond the first attempt
+``FLEXSFP_RETRY_BACKOFF``  base of the exponential retry backoff, in seconds
+=========================  ====================================================
 
 Malformed values never raise at import or construction time: they fall
 back to the documented default, exactly like the scattered parsers they
@@ -38,6 +42,9 @@ ENV_BATCH = "FLEXSFP_BATCH"
 ENV_METRICS_DIR = "FLEXSFP_METRICS_DIR"
 ENV_WORKERS = "FLEXSFP_WORKERS"
 ENV_MP_START = "FLEXSFP_MP_START"
+ENV_SHARD_TIMEOUT = "FLEXSFP_SHARD_TIMEOUT"
+ENV_MAX_RETRIES = "FLEXSFP_MAX_RETRIES"
+ENV_RETRY_BACKOFF = "FLEXSFP_RETRY_BACKOFF"
 
 _START_METHODS = ("fork", "spawn", "forkserver")
 
@@ -64,6 +71,21 @@ def parse_int(
     return value
 
 
+def parse_float(
+    raw: str | None, default: float, minimum: float | None = None
+) -> float:
+    """Parse a float env value; malformed input yields ``default``."""
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        return default
+    if minimum is not None and value < minimum:
+        return minimum
+    return value
+
+
 @dataclass(frozen=True)
 class Settings:
     """All environment-tunable defaults, resolved once per construction site.
@@ -72,7 +94,9 @@ class Settings:
     :class:`~repro.core.module.FlexSFPModule` consults when its own
     constructor arguments are ``None``; ``metrics_dir`` is where
     benchmarks export registry dumps; ``workers`` / ``start_method``
-    steer the :mod:`repro.parallel` sharded runner.
+    steer the :mod:`repro.parallel` sharded runner; ``shard_timeout_s``
+    / ``max_retries`` / ``retry_backoff_s`` steer its supervisor
+    (deadline per shard, bounded retry, exponential backoff base).
     """
 
     fastpath: bool = False
@@ -80,6 +104,9 @@ class Settings:
     metrics_dir: Path | None = None
     workers: int | None = None
     start_method: str | None = None
+    shard_timeout_s: float | None = None
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
 
     @classmethod
     def from_env(cls, env: Mapping[str, str] | None = None) -> "Settings":
@@ -89,12 +116,18 @@ class Settings:
         metrics_dir = env.get(ENV_METRICS_DIR, "").strip()
         start = env.get(ENV_MP_START, "").strip().lower()
         workers = parse_int(env.get(ENV_WORKERS), 0, minimum=0)
+        shard_timeout = parse_float(env.get(ENV_SHARD_TIMEOUT), 0.0, minimum=0.0)
         return cls(
             fastpath=parse_bool(env.get(ENV_FASTPATH)),
             batch_size=parse_int(env.get(ENV_BATCH), 1, minimum=1),
             metrics_dir=Path(metrics_dir) if metrics_dir else None,
             workers=workers if workers > 0 else None,
             start_method=start if start in _START_METHODS else None,
+            shard_timeout_s=shard_timeout if shard_timeout > 0 else None,
+            max_retries=parse_int(env.get(ENV_MAX_RETRIES), 2, minimum=0),
+            retry_backoff_s=parse_float(
+                env.get(ENV_RETRY_BACKOFF), 0.05, minimum=0.0
+            ),
         )
 
     def with_overrides(self, **changes: object) -> "Settings":

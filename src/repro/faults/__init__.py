@@ -9,6 +9,7 @@ and reports recovery metrics.
 from .gauntlet import NAMED_PLANS, GauntletResult, run_gauntlet
 from .injector import FaultInjector
 from .plan import ALL_FAULTS, LINK_FAULTS, MODULE_FAULTS, FaultEvent, FaultPlan
+from .workers import WORKER_FAULTS, WorkerFault, WorkerFaultPlan
 
 __all__ = [
     "ALL_FAULTS",
@@ -19,5 +20,8 @@ __all__ = [
     "LINK_FAULTS",
     "MODULE_FAULTS",
     "NAMED_PLANS",
+    "WORKER_FAULTS",
+    "WorkerFault",
+    "WorkerFaultPlan",
     "run_gauntlet",
 ]

@@ -10,6 +10,7 @@ the collected state as Prometheus text, JSON documents, or JSON Lines.
 
 from .export import (
     SCHEMA_FLEET,
+    SCHEMA_JOURNAL,
     SCHEMA_METRICS,
     SCHEMA_PROFILE,
     SCHEMA_TABLE,
@@ -58,6 +59,7 @@ __all__ = [
     "SCENARIOS",
     "SCENARIO_KINDS",
     "SCHEMA_FLEET",
+    "SCHEMA_JOURNAL",
     "SCHEMA_METRICS",
     "SCHEMA_PROFILE",
     "SCHEMA_TABLE",

@@ -28,6 +28,7 @@ SCHEMA_TABLE = "flexsfp.table/1"
 SCHEMA_TRACE = "flexsfp.trace/1"
 SCHEMA_PROFILE = "flexsfp.profile/1"
 SCHEMA_FLEET = "flexsfp.fleet/1"
+SCHEMA_JOURNAL = "flexsfp.journal/1"
 
 _PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
 

@@ -5,8 +5,15 @@ this package runs N independent scenario shards across OS processes and
 merges their metrics into one fleet-wide view that is bit-identical to
 the sequential run — per-shard seeds are derived, not drawn, and the
 metric merge is a commutative/associative fold.
+
+Execution is *supervised*: each worker carries a heartbeat and an
+optional deadline, crashes and hangs cost one bounded deterministic
+retry rather than the campaign, completed shards checkpoint to an
+append-only journal for ``--resume``, and exhausted retries degrade into
+an explicit completeness block instead of silent partial coverage.
 """
 
+from .journal import ShardJournal, load_journal, spec_digest
 from .merge import (
     MergeKind,
     classify,
@@ -24,20 +31,39 @@ from .runner import (
     shard_spec,
 )
 from .seeds import derive_shard_seed, shard_seeds
+from .supervisor import (
+    Completeness,
+    ShardError,
+    ShardFailure,
+    SupervisorPolicy,
+    SupervisorTelemetry,
+    run_shard_safe,
+    run_supervised,
+)
 
 __all__ = [
+    "Completeness",
     "FleetRunResult",
     "MergeKind",
     "SHARD_SEED_LABEL",
+    "ShardError",
+    "ShardFailure",
+    "ShardJournal",
     "ShardResult",
+    "SupervisorPolicy",
+    "SupervisorTelemetry",
     "classify",
     "derive_shard_seed",
     "histogram_percentile",
+    "load_journal",
     "merge_histogram_states",
     "merge_metrics",
     "merge_values",
     "run_shard",
+    "run_shard_safe",
     "run_sharded",
+    "run_supervised",
     "shard_spec",
     "shard_seeds",
+    "spec_digest",
 ]

@@ -1,0 +1,174 @@
+"""Append-only shard checkpoint journal: kill -9 survivable progress.
+
+A supervised fleet run journals every completed
+:class:`~repro.parallel.runner.ShardResult` to a JSON Lines file as soon
+as it merges: one header line binding the journal to its resolved
+:class:`~repro.obs.scenario.ScenarioSpec` (by canonical digest), then
+one ``shard`` record per completion.  ``flexsfp run --resume <journal>``
+reloads the file, verifies the spec digest, and re-executes only the
+shards that are missing — because shard seeds are a pure function of
+(root seed, index), the resumed shards reproduce the exact digests the
+uninterrupted run would have.
+
+Crash-safety contract: every append is flushed and fsynced, and the
+loader tolerates exactly one trailing partial line (the record a SIGKILL
+interrupted mid-write) by discarding it.  Any earlier malformed line is
+corruption and raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..errors import ConfigError
+from ..obs.export import SCHEMA_JOURNAL
+from ..obs.scenario import ScenarioSpec
+from .runner import ShardResult
+
+
+def spec_digest(spec: ScenarioSpec) -> str:
+    """SHA-256 over the canonical JSON of a (resolved) spec."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _shard_record(result: ShardResult, attempts: int) -> dict:
+    record = {"kind": "shard", "attempts": attempts}
+    record.update(result.to_dict())
+    return record
+
+
+def _result_from_record(record: dict) -> ShardResult:
+    return ShardResult(
+        index=int(record["index"]),
+        seed=int(record["seed"]),
+        digest=str(record["digest"]),
+        metrics=dict(record["metrics"]),
+        summary=dict(record["summary"]),
+        histograms={
+            name: {"bounds": list(state["bounds"]), "counts": list(state["counts"])}
+            for name, state in record.get("histograms", {}).items()
+        },
+    )
+
+
+class ShardJournal:
+    """Append-only writer for one run's shard checkpoints.
+
+    ``open_new`` truncates and writes the header; ``open_append``
+    attaches to an existing journal (resume continuing into the same
+    file) after verifying its header matches the spec being run.
+    """
+
+    def __init__(self, path: Path, spec: ScenarioSpec, handle) -> None:
+        self.path = path
+        self.spec = spec
+        self._handle = handle
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open_new(cls, path: str | os.PathLike, spec: ScenarioSpec) -> "ShardJournal":
+        target = Path(path)
+        handle = target.open("w")
+        journal = cls(target, spec, handle)
+        journal._append(
+            {
+                "schema": SCHEMA_JOURNAL,
+                "spec": spec.to_dict(),
+                "spec_digest": spec_digest(spec),
+                "shards": spec.shards,
+            }
+        )
+        return journal
+
+    @classmethod
+    def open_append(
+        cls, path: str | os.PathLike, spec: ScenarioSpec
+    ) -> "ShardJournal":
+        target = Path(path)
+        header_spec, _ = load_journal(target)  # validates header + records
+        if spec_digest(header_spec) != spec_digest(spec):
+            raise ConfigError(
+                f"journal {target} was written for a different spec; "
+                "resume must re-run the journalled spec"
+            )
+        return cls(target, spec, target.open("a"))
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_shard(self, result: ShardResult, attempts: int = 1) -> None:
+        """Checkpoint one completed shard (flushed + fsynced)."""
+        self._append(_shard_record(result, attempts))
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "ShardJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_journal(
+    path: str | os.PathLike,
+) -> tuple[ScenarioSpec, dict[int, ShardResult]]:
+    """Read a journal back: its spec and the completed shards by index.
+
+    A shard recorded more than once keeps the last record (a resumed run
+    appends into the same file).  One trailing partial line is the
+    signature of a killed writer and is dropped; a malformed line
+    anywhere else raises :class:`~repro.errors.ConfigError`.
+    """
+    target = Path(path)
+    if not target.is_file():
+        raise ConfigError(f"journal {target} does not exist")
+    lines = target.read_text().splitlines()
+    if not lines:
+        raise ConfigError(f"journal {target} is empty")
+    records: list[dict] = []
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines) - 1:
+                break  # the record a SIGKILL cut short; progress before it holds
+            raise ConfigError(
+                f"journal {target} line {number + 1} is corrupt "
+                "(not trailing, cannot be a truncated append)"
+            ) from None
+    if not records:
+        raise ConfigError(f"journal {target} has no readable header")
+    header = records[0]
+    if header.get("schema") != SCHEMA_JOURNAL:
+        raise ConfigError(
+            f"journal {target} has schema {header.get('schema')!r}, "
+            f"expected {SCHEMA_JOURNAL!r}"
+        )
+    spec = ScenarioSpec.from_dict(header["spec"])
+    if spec_digest(spec) != header.get("spec_digest"):
+        raise ConfigError(f"journal {target} header digest mismatch")
+    completed: dict[int, ShardResult] = {}
+    for record in records[1:]:
+        if record.get("kind") != "shard":
+            raise ConfigError(
+                f"journal {target} carries unknown record kind "
+                f"{record.get('kind')!r}"
+            )
+        result = _result_from_record(record)
+        if not 0 <= result.index < spec.shards:
+            raise ConfigError(
+                f"journal {target} shard index {result.index} out of range "
+                f"for {spec.shards} shards"
+            )
+        completed[result.index] = result
+    return spec, completed

@@ -16,20 +16,27 @@ Workers prefer the ``fork`` start method where the platform offers it
 same, just slower to start.  Nothing in a shard touches shared state:
 the scenario spec is resolved — env knobs folded in — *once in the
 parent*, so a worker never reads the environment.
+
+Execution itself lives in :mod:`repro.parallel.supervisor`: every worker
+runs under a shard supervisor (deadlines, heartbeats, bounded
+deterministic retry, checkpoint journalling) rather than a bare pool, so
+a crashed or hung worker costs one retry, never the campaign.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from ..config import get_settings
 from ..errors import ConfigError
 from ..obs.registry import MetricValue
 from ..obs.scenario import ScenarioSpec
-from .merge import HistogramState, merge_histogram_states, merge_metrics
+from .merge import HistogramState
 from .seeds import derive_shard_seed
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .supervisor import Completeness
 
 SHARD_SEED_LABEL = "shard"
 
@@ -58,7 +65,14 @@ class ShardResult:
 
 @dataclass(frozen=True)
 class FleetRunResult:
-    """A complete fleet run: per-shard results plus the merged view."""
+    """A complete fleet run: per-shard results plus the merged view.
+
+    ``completeness`` / ``supervisor`` are populated by the supervised
+    runner: explicit coverage accounting (failed shard indices, attempts,
+    reasons, resumed shards) and the supervision counters.  A run is only
+    ``ok`` when every shard completed — a partial merge never pretends to
+    be a full one.
+    """
 
     spec: ScenarioSpec
     workers: int
@@ -66,6 +80,12 @@ class FleetRunResult:
     merged_metrics: dict[str, MetricValue]
     merged_histograms: dict[str, HistogramState]
     wall_s: float
+    completeness: "Completeness | None" = None
+    supervisor: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.completeness is None or self.completeness.ok
 
     @property
     def digests(self) -> tuple[str, ...]:
@@ -83,6 +103,10 @@ class FleetRunResult:
                 k: dict(v) for k, v in self.merged_histograms.items()
             },
             "wall_s": self.wall_s,
+            "completeness": (
+                self.completeness.to_dict() if self.completeness else None
+            ),
+            "supervisor": dict(self.supervisor),
         }
 
 
@@ -127,8 +151,9 @@ def run_sharded(
     spec: ScenarioSpec,
     workers: int | None = None,
     start_method: str | None = None,
+    **supervision,
 ) -> FleetRunResult:
-    """Run every shard of ``spec`` and merge the results.
+    """Run every shard of ``spec`` under supervision and merge the results.
 
     ``workers=1`` (or one shard) runs in-process — the baseline any
     parallel run must match bit-for-bit.  ``workers=None`` falls back to
@@ -136,39 +161,15 @@ def run_sharded(
     The returned merged metrics and per-shard digests are a pure
     function of the resolved spec: worker count, start method, and
     completion order never show through.
+
+    Execution is delegated to :func:`repro.parallel.supervisor.
+    run_supervised` — per-shard deadlines, crash/hang detection with
+    bounded deterministic retry, and checkpoint/resume journalling; the
+    keyword-only supervision knobs (``policy``, ``checkpoint``,
+    ``resume``, ``chaos``) pass straight through.
     """
-    settings = get_settings()
-    if workers is None:
-        workers = settings.workers if settings.workers is not None else 1
-    if workers < 1:
-        raise ConfigError(f"workers must be >= 1, got {workers}")
-    resolved = spec.resolved(settings)
-    tasks = [(resolved, index) for index in range(resolved.shards)]
+    from .supervisor import run_supervised  # deferred: avoids cycle
 
-    # Orchestration wall clock, not sim time: wall_s reports fan-out
-    # speedup and is excluded from every digest and merged view.
-    started = time.perf_counter()  # flexsfp: allow(det-wallclock)
-    if workers == 1 or resolved.shards == 1:
-        results = [run_shard(task) for task in tasks]
-    else:
-        method = _pick_start_method(
-            start_method if start_method is not None else settings.start_method
-        )
-        ctx = multiprocessing.get_context(method)
-        with ctx.Pool(processes=min(workers, resolved.shards)) as pool:
-            results = pool.map(run_shard, tasks)
-    wall_s = time.perf_counter() - started  # flexsfp: allow(det-wallclock)
-
-    # Fold in shard-index order regardless of arrival order: combined
-    # with a commutative/associative merge this pins bit-identity.
-    results.sort(key=lambda shard: shard.index)
-    merged = merge_metrics(shard.metrics for shard in results)
-    merged_hists = merge_histogram_states(shard.histograms for shard in results)
-    return FleetRunResult(
-        spec=resolved,
-        workers=workers,
-        shards=tuple(results),
-        merged_metrics=merged,
-        merged_histograms=merged_hists,
-        wall_s=wall_s,
+    return run_supervised(
+        spec, workers=workers, start_method=start_method, **supervision
     )

@@ -235,6 +235,118 @@ class TestRunSubcommand:
         assert code == 2
         assert "shards" in err
 
+    def test_run_artifact_write_is_atomic(self, capsys, tmp_path):
+        artifact = tmp_path / "fleet.json"
+        code, _, _ = run(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "1",
+            "--workers", "1", "--out", str(artifact),
+        )
+        assert code == 0
+        # Temp file renamed into place: only the artifact itself remains.
+        assert [p.name for p in tmp_path.iterdir()] == ["fleet.json"]
+
+    def test_run_supervision_flags(self, capsys):
+        code, doc = run_json(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "1",
+            "--workers", "1", "--shard-timeout", "30", "--max-retries", "1",
+        )
+        assert code == 0
+        assert doc["completeness"]["ok"] is True
+        assert doc["supervisor"]["completed"] == 1
+
+
+class TestSupervisedRun:
+    """Partial coverage, checkpointing, and --resume through the CLI."""
+
+    @staticmethod
+    def _inject_chaos(monkeypatch, schedule, max_retries=0):
+        """Make the CLI's fleet runs fail per ``schedule`` (fast policy)."""
+        import repro.parallel as parallel
+        from repro.faults import WorkerFaultPlan
+        from repro.parallel import SupervisorPolicy
+
+        real = parallel.run_sharded
+        plan = WorkerFaultPlan.scripted(schedule)
+        policy = SupervisorPolicy(
+            max_retries=max_retries, backoff_s=0.01, heartbeat_s=0.05,
+            heartbeat_misses=200, poll_s=0.02,
+        )
+
+        def chaotic(spec, workers=None, start_method=None, **kwargs):
+            kwargs.update(chaos=plan, policy=policy)
+            return real(
+                spec, workers=workers, start_method=start_method, **kwargs
+            )
+
+        monkeypatch.setattr(parallel, "run_sharded", chaotic)
+
+    def test_partial_run_exits_with_distinct_code(self, capsys, monkeypatch):
+        self._inject_chaos(monkeypatch, {(1, 1): "worker_kill"})
+        code, doc = run_json(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "2",
+            "--workers", "2", "--seed", "3",
+        )
+        assert code == 4  # EXIT_PARTIAL: not 0, not a hard error
+        assert doc["completeness"]["ok"] is False
+        assert doc["completeness"]["failed_indices"] == [1]
+        assert len(doc["shards"]) == 1
+
+    def test_partial_run_text_report(self, capsys, monkeypatch):
+        self._inject_chaos(monkeypatch, {(0, 1): "worker_kill"})
+        code, out, _ = run(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "2",
+            "--workers", "2", "--seed", "3",
+        )
+        assert code == 4
+        assert "PARTIAL RESULT: 1/2 shards completed" in out
+        assert "shard 0" in out and "crash" in out
+
+    def test_checkpoint_then_resume_reproduces_digests(self, capsys, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        code, doc = run_json(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "2",
+            "--workers", "1", "--seed", "3", "--checkpoint", str(journal),
+        )
+        assert code == 0
+        # Resume ignores today's scenario flags: the journal is the spec.
+        code, resumed = run_json(
+            capsys, "run", "--resume", str(journal), "--workers", "1",
+            "--shards", "7", "--seed", "99",
+        )
+        assert code == 0
+        assert resumed["spec"] == doc["spec"]
+        assert resumed["digests"] == doc["digests"]
+        assert resumed["completeness"]["resumed"] == [0, 1]
+
+    def test_resume_after_partial_completes_the_campaign(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        journal = tmp_path / "campaign.jsonl"
+        self._inject_chaos(monkeypatch, {(1, 1): "worker_kill"})
+        code, doc = run_json(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "3",
+            "--workers", "2", "--seed", "3", "--checkpoint", str(journal),
+        )
+        assert code == 4
+        assert doc["completeness"]["failed_indices"] == [1]
+
+        monkeypatch.undo()  # chaos off: the retry landscape is clear
+        code, resumed = run_json(
+            capsys, "run", "--resume", str(journal), "--workers", "1",
+        )
+        assert code == 0
+        assert resumed["completeness"]["ok"] is True
+        assert sorted(resumed["completeness"]["resumed"]) == [0, 2]
+        assert len(resumed["shards"]) == 3
+
+        # The completed campaign must match a clean, undisturbed run.
+        code, clean = run_json(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "3",
+            "--workers", "1", "--seed", "3",
+        )
+        assert resumed["digests"] == clean["digests"]
+        assert resumed["merged_metrics"] == clean["merged_metrics"]
+
 
 class TestDeprecationGate:
     def test_metrics_clean_path_passes(self, capsys):

@@ -2,7 +2,13 @@
 
 from pathlib import Path
 
-from repro.config import Settings, get_settings, parse_bool, parse_int
+from repro.config import (
+    Settings,
+    get_settings,
+    parse_bool,
+    parse_float,
+    parse_int,
+)
 from repro.core import FlexSFPModule
 from repro.sim import Simulator
 
@@ -37,6 +43,16 @@ class TestParsers:
         assert parse_int("-5", 1, minimum=1) == 1
         assert parse_int("0", 1, minimum=1) == 1
 
+    def test_parse_float_malformed_falls_back(self):
+        assert parse_float("not-a-number", 0.5) == 0.5
+        assert parse_float(None, 2.0) == 2.0
+        assert parse_float(" 1.25 ", 0.0) == 1.25
+
+    def test_parse_float_minimum_clamps(self):
+        assert parse_float("-3.0", 1.0, minimum=0.0) == 0.0
+        assert parse_float("0.0", 1.0, minimum=0.0) == 0.0
+        assert parse_float("2.5", 1.0, minimum=0.0) == 2.5
+
 
 class TestSettings:
     def test_defaults_from_empty_env(self):
@@ -47,6 +63,9 @@ class TestSettings:
         assert settings.metrics_dir is None
         assert settings.workers is None
         assert settings.start_method is None
+        assert settings.shard_timeout_s is None
+        assert settings.max_retries == 2
+        assert settings.retry_backoff_s == 0.05
 
     def test_full_env(self):
         settings = Settings.from_env(
@@ -56,6 +75,9 @@ class TestSettings:
                 "FLEXSFP_METRICS_DIR": "out/metrics",
                 "FLEXSFP_WORKERS": "4",
                 "FLEXSFP_MP_START": "spawn",
+                "FLEXSFP_SHARD_TIMEOUT": "30.5",
+                "FLEXSFP_MAX_RETRIES": "5",
+                "FLEXSFP_RETRY_BACKOFF": "0.5",
             }
         )
         assert settings.fastpath is True
@@ -63,6 +85,9 @@ class TestSettings:
         assert settings.metrics_dir == Path("out/metrics")
         assert settings.workers == 4
         assert settings.start_method == "spawn"
+        assert settings.shard_timeout_s == 30.5
+        assert settings.max_retries == 5
+        assert settings.retry_backoff_s == 0.5
 
     def test_malformed_env_degrades_not_raises(self):
         settings = Settings.from_env(
@@ -71,12 +96,22 @@ class TestSettings:
                 "FLEXSFP_BATCH": "lots",
                 "FLEXSFP_WORKERS": "-3",
                 "FLEXSFP_MP_START": "teleport",
+                "FLEXSFP_SHARD_TIMEOUT": "forever",
+                "FLEXSFP_MAX_RETRIES": "many",
+                "FLEXSFP_RETRY_BACKOFF": "soon",
             }
         )
         assert settings == Settings()
 
     def test_batch_clamped_to_one(self):
         assert Settings.from_env({"FLEXSFP_BATCH": "0"}).batch_size == 1
+
+    def test_zero_shard_timeout_means_disabled(self):
+        settings = Settings.from_env({"FLEXSFP_SHARD_TIMEOUT": "0"})
+        assert settings.shard_timeout_s is None
+        assert Settings.from_env(
+            {"FLEXSFP_SHARD_TIMEOUT": "1.5"}
+        ).shard_timeout_s == 1.5
 
     def test_with_overrides(self):
         base = Settings()

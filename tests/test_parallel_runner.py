@@ -112,12 +112,30 @@ class TestSpecPlumbing:
         assert result.workers == 2
 
     def test_invalid_workers_rejected(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match="workers must be >= 1"):
             run_sharded(NAT, workers=0)
+        with pytest.raises(ConfigError, match="workers must be >= 1"):
+            run_sharded(NAT, workers=-3)
 
     def test_unavailable_start_method_rejected(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match="unavailable"):
             _pick_start_method("not-a-method")
+
+    def test_default_start_method_prefers_fork(self, monkeypatch):
+        monkeypatch.setattr(
+            "multiprocessing.get_all_start_methods",
+            lambda: ["spawn", "fork", "forkserver"],
+        )
+        assert _pick_start_method(None) == "fork"
+
+    def test_default_start_method_falls_back_without_fork(self, monkeypatch):
+        # Platforms without fork (e.g. Windows) get the first available.
+        monkeypatch.setattr(
+            "multiprocessing.get_all_start_methods", lambda: ["spawn"]
+        )
+        assert _pick_start_method(None) == "spawn"
+        with pytest.raises(ConfigError):
+            _pick_start_method("fork")
 
     def test_resolution_happens_in_parent(self, monkeypatch):
         # Env knobs fold into the spec before fan-out: the resolved spec

@@ -1,4 +1,4 @@
-"""Unit tests for repro._util address/bit helpers."""
+"""Unit tests for repro._util address/bit/file helpers."""
 
 import pytest
 
@@ -12,6 +12,7 @@ from repro._util import (
     ip6_to_int,
     ip_to_int,
     mac_to_int,
+    write_text_atomic,
 )
 from repro.errors import ConfigError
 
@@ -98,3 +99,29 @@ class TestBitHelpers:
         assert clamp(5, 0, 10) == 5
         assert clamp(-1, 0, 10) == 0
         assert clamp(11, 0, 10) == 10
+
+
+class TestWriteTextAtomic:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        write_text_atomic(target, "{}\n")
+        assert target.read_text() == "{}\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old")
+        write_text_atomic(target, "new")
+        assert target.read_text() == "new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        write_text_atomic(target, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_failed_write_preserves_original(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("precious")
+        with pytest.raises(TypeError):
+            write_text_atomic(target, None)  # not str: write() raises
+        assert target.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
