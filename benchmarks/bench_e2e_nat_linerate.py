@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from common import report
+from common import export_bench, report
 from repro.apps import StaticNat
 from repro.core import FlexSFPModule
 from repro.netem import CbrSource, ImixSource
@@ -181,6 +181,16 @@ def test_e2e_nat_line_rate(benchmark):
             ), result
     # The min-frame run hits the canonical 14.88 Mpps.
     assert results[0]["pps"] == pytest.approx(14.88, rel=0.02)
+    export_bench(
+        "e2e_nat_linerate",
+        metrics={
+            f"frame{r['frame']}.{key}": r[key]
+            for r in results
+            for key in ("achieved_gbps", "pps", "overload_drops", "translated")
+        },
+        summary={"frames": len(results)},
+        wall_s=sum(r["wall_s"] for r in results),
+    )
 
 
 def _speedup_run(**kwargs):
@@ -244,3 +254,17 @@ def test_fastpath_speedup(benchmark):
     )
     # ...at >= 3x the wall-clock simulation throughput.
     assert speedup >= 3.0, f"fast path speedup {speedup:.2f}x < 3x"
+    export_bench(
+        "fastpath_speedup",
+        metrics={
+            f"{mode}.{key}": r[key]
+            for mode, r in (("reference", reference), ("fastpath", fast))
+            for key in (
+                "achieved_gbps", "translated", "overload_drops",
+                "sim_pkts_per_wall_s", "events",
+            )
+        },
+        knobs={"fastpath": True, "batch_size": SPEEDUP_BATCH},
+        summary={"speedup": speedup},
+        wall_s=reference["wall_s"] + fast["wall_s"],
+    )

@@ -22,7 +22,7 @@ import os
 import time
 
 import pytest
-from common import report
+from common import export_artifact, report
 from repro.obs import ScenarioSpec, TrafficProfile
 from repro.parallel import MergeKind, classify, run_sharded
 
@@ -85,6 +85,9 @@ def test_fleet_scaleout(benchmark):
         if classify(name, value) is MergeKind.SUM:
             total = sum(shard.metrics.get(name, 0) for shard in sequential.shards)
             assert value == total, name
+    export_artifact(
+        "fleet_scaleout", parallel.to_artifact(source="bench:fleet_scaleout")
+    )
 
 
 def test_fleet_scaleout_speedup():

@@ -1,0 +1,59 @@
+"""``repro.artifact`` — the unified ``flexsfp.run/1`` document + diff.
+
+One artifact shape for every entry point, and one canonical
+:func:`diff_artifacts` that answers "did configuration A and
+configuration B compute the same thing" with a typed divergence report
+instead of scattered test assertions.
+"""
+
+from .diff import (
+    ArtifactDiff,
+    DiffEntry,
+    DiffKind,
+    diff_artifacts,
+    is_semantic_metric,
+    semantic_metrics,
+    semantic_shard_digest,
+    semantic_summary,
+)
+from .run import (
+    DEFAULT_BATCHED_SIZE,
+    ENGINE_BATCHED,
+    ENGINE_REFERENCE,
+    ENGINES,
+    RunArtifact,
+    artifact_from_bench,
+    artifact_from_fleet_result,
+    artifact_from_scenario_run,
+    engine_batch_size,
+    engine_name,
+    environment_fingerprint,
+    fleet_view,
+    load_artifact,
+    spec_digest_of,
+)
+
+__all__ = [
+    "DEFAULT_BATCHED_SIZE",
+    "ENGINES",
+    "ENGINE_BATCHED",
+    "ENGINE_REFERENCE",
+    "ArtifactDiff",
+    "DiffEntry",
+    "DiffKind",
+    "RunArtifact",
+    "artifact_from_bench",
+    "artifact_from_fleet_result",
+    "artifact_from_scenario_run",
+    "diff_artifacts",
+    "engine_batch_size",
+    "engine_name",
+    "environment_fingerprint",
+    "fleet_view",
+    "is_semantic_metric",
+    "load_artifact",
+    "semantic_metrics",
+    "semantic_shard_digest",
+    "semantic_summary",
+    "spec_digest_of",
+]

@@ -1,0 +1,505 @@
+"""The unified run artifact: one ``flexsfp.run/1`` document per run.
+
+Every entry point — ``flexsfp run``, the chaos gauntlet, ``flexsfp
+matrix`` cells, and the benchmark harness — reduces its result to one
+:class:`RunArtifact`: the resolved spec and its digest, the root seed,
+the engine/fastpath/shard/device/fault-plan knobs, the merged metrics
+registry snapshot, per-shard digests (raw and semantic), the
+completeness block, findings, timings, and an environment fingerprint.
+The artifact is the ingestion format for artifact stores and the operand
+of :func:`~repro.artifact.diff.diff_artifacts` — "is configuration A
+bit-identical to configuration B" is a diff of two of these documents.
+
+The document splits into a *semantic* body and *volatile* trailers
+(``timings``, ``environment``, ``supervisor``): the volatile sections
+change between reruns and machines by design and are excluded from the
+artifact digest, from semantic diffs, and — zeroed by
+:meth:`RunArtifact.normalized` — from the golden corpus bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from .._util import warn_deprecated
+from ..errors import ConfigError
+from ..obs.export import SCHEMA_FLEET, SCHEMA_RUN, json_document
+from .diff import semantic_shard_digest
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..obs.scenario import ScenarioRun
+    from ..parallel.runner import FleetRunResult
+
+# Canonical engine names: the matrix axis vocabulary.  ``reference``
+# processes one frame per event; ``batched`` drains bursts through the
+# batched PPE engine (bit-exact by the PR 2 contract).
+ENGINE_REFERENCE = "reference"
+ENGINE_BATCHED = "batched"
+ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED)
+# Batch size a ``batched`` matrix cell runs unless overridden.
+DEFAULT_BATCHED_SIZE = 16
+
+
+def engine_name(batch_size: int | None) -> str:
+    """The engine a batch size selects (``None``/1 → reference)."""
+    return ENGINE_BATCHED if batch_size is not None and batch_size > 1 else (
+        ENGINE_REFERENCE
+    )
+
+
+def engine_batch_size(engine: str, batched_size: int = DEFAULT_BATCHED_SIZE) -> int:
+    """The batch size that realizes a named engine."""
+    if engine == ENGINE_REFERENCE:
+        return 1
+    if engine == ENGINE_BATCHED:
+        return batched_size
+    raise ConfigError(f"unknown engine {engine!r}; known: {list(ENGINES)}")
+
+
+def environment_fingerprint() -> dict:
+    """Where this artifact was produced (volatile: never diffed as semantic)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "repro": _package_version(),
+    }
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def spec_digest_of(spec_payload: Mapping[str, object]) -> str:
+    """SHA-256 over the canonical JSON of a spec payload.
+
+    Field order never matters: the canonical encoding sorts keys, so a
+    spec dict that round-tripped through JSON, a hand-reordered copy,
+    and the original dataclass all digest identically.
+    """
+    canonical = json.dumps(dict(spec_payload), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunArtifact:
+    """One run, reduced to the ``flexsfp.run/1`` document fields."""
+
+    source: str
+    spec: dict
+    spec_digest: str
+    seed: int
+    knobs: dict
+    metrics: dict
+    histograms: dict
+    shards: tuple[dict, ...]
+    completeness: dict
+    summary: dict = field(default_factory=dict)
+    findings: tuple[dict, ...] = ()
+    timings: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=dict)
+    supervisor: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return bool(self.completeness.get("ok", True))
+
+    @property
+    def digests(self) -> tuple[str, ...]:
+        return tuple(str(shard["digest"]) for shard in self.shards)
+
+    @property
+    def semantic_digests(self) -> tuple[str, ...]:
+        return tuple(str(shard["semantic_digest"]) for shard in self.shards)
+
+    def artifact_digest(self) -> str:
+        """SHA-256 over the semantic body (volatile trailers excluded).
+
+        Stable across reruns with the same seed, across machines, and
+        across worker counts — the fingerprint an artifact store keys on.
+        """
+        body = self.to_dict()
+        for volatile in ("timings", "environment", "supervisor"):
+            body.pop(volatile, None)
+        canonical = json.dumps(body, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_RUN,
+            "source": self.source,
+            "spec": dict(self.spec),
+            "spec_digest": self.spec_digest,
+            "seed": self.seed,
+            "knobs": dict(self.knobs),
+            "metrics": dict(self.metrics),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "shards": [dict(shard) for shard in self.shards],
+            "completeness": dict(self.completeness),
+            "summary": dict(self.summary),
+            "findings": [dict(finding) for finding in self.findings],
+            "timings": dict(self.timings),
+            "environment": dict(self.environment),
+            "supervisor": dict(self.supervisor),
+        }
+
+    def document(self) -> str:
+        """The canonical one-line ``flexsfp.run/1`` JSON document."""
+        payload = self.to_dict()
+        payload.pop("schema")
+        return json_document(SCHEMA_RUN, **payload)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunArtifact":
+        data = dict(payload)
+        schema = data.pop("schema", SCHEMA_RUN)
+        if schema != SCHEMA_RUN:
+            raise ConfigError(
+                f"expected a {SCHEMA_RUN!r} document, got schema {schema!r}"
+            )
+        return cls(
+            source=str(data.get("source", "")),
+            spec=dict(data.get("spec", {})),
+            spec_digest=str(data.get("spec_digest", "")),
+            seed=int(data.get("seed", 0)),
+            knobs=dict(data.get("knobs", {})),
+            metrics=dict(data.get("metrics", {})),
+            histograms={
+                name: dict(state)
+                for name, state in dict(data.get("histograms", {})).items()
+            },
+            shards=tuple(dict(shard) for shard in data.get("shards", ())),
+            completeness=dict(data.get("completeness", {})),
+            summary=dict(data.get("summary", {})),
+            findings=tuple(dict(f) for f in data.get("findings", ())),
+            timings=dict(data.get("timings", {})),
+            environment=dict(data.get("environment", {})),
+            supervisor=dict(data.get("supervisor", {})),
+        )
+
+    # ------------------------------------------------------------------
+    def normalized(self) -> "RunArtifact":
+        """A copy with the volatile trailers zeroed.
+
+        This is the golden-corpus form: byte-identical across machines,
+        Python builds, and reruns, while remaining a valid
+        ``flexsfp.run/1`` document.
+        """
+        return replace(self, timings={}, environment={}, supervisor={})
+
+    def golden_bytes(self) -> bytes:
+        """Canonical pretty-printed bytes of the normalized artifact."""
+        return (
+            json.dumps(
+                self.normalized().to_dict(), sort_keys=True, indent=2, default=str
+            )
+            + "\n"
+        ).encode()
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _knobs_from_spec(spec_payload: Mapping, workers: int | None) -> dict:
+    batch_size = spec_payload.get("batch_size") or 1
+    return {
+        "engine": engine_name(batch_size),
+        "fastpath": bool(spec_payload.get("fastpath")),
+        "batch_size": batch_size,
+        "shards": int(spec_payload.get("shards", 1)),
+        "workers": workers,
+        "device": spec_payload.get("device"),
+        "fault_plan": spec_payload.get("fault_plan"),
+    }
+
+
+def artifact_from_fleet_result(
+    result: "FleetRunResult",
+    source: str = "flexsfp-run",
+    findings: Iterable[Mapping] = (),
+) -> RunArtifact:
+    """Reduce a (supervised) fleet run to its ``flexsfp.run/1`` artifact."""
+    spec_payload = result.spec.to_dict()
+    shards = tuple(
+        {
+            "index": shard.index,
+            "seed": shard.seed,
+            "digest": shard.digest,
+            "semantic_digest": semantic_shard_digest(
+                shard.metrics, shard.summary, shard.histograms
+            ),
+            "summary": dict(shard.summary),
+        }
+        for shard in result.shards
+    )
+    completeness = (
+        result.completeness.to_dict()
+        if result.completeness is not None
+        else {
+            "ok": True,
+            "shards": spec_payload.get("shards", len(shards)),
+            "completed": len(shards),
+            "failed": [],
+            "failed_indices": [],
+            "resumed": [],
+            "retries": 0,
+        }
+    )
+    return RunArtifact(
+        source=source,
+        spec=spec_payload,
+        spec_digest=spec_digest_of(spec_payload),
+        seed=int(spec_payload.get("seed", 0)),
+        knobs=_knobs_from_spec(spec_payload, result.workers),
+        metrics=dict(result.merged_metrics),
+        histograms={k: dict(v) for k, v in result.merged_histograms.items()},
+        shards=shards,
+        completeness=completeness,
+        findings=tuple(dict(finding) for finding in findings),
+        timings={"wall_s": result.wall_s},
+        environment=environment_fingerprint(),
+        supervisor=dict(result.supervisor),
+    )
+
+
+def artifact_from_scenario_run(
+    run: "ScenarioRun",
+    source: str,
+    findings: Iterable[Mapping] = (),
+    wall_s: float | None = None,
+) -> RunArtifact:
+    """Wrap one in-process :class:`ScenarioRun` as a 1-shard artifact.
+
+    The chaos-gauntlet CLI and any direct ``spec.run()`` caller emit
+    through here: same document, same digests, same diffability as a
+    sharded campaign of size one.
+    """
+    spec = run.spec
+    if spec is None:
+        raise ConfigError("scenario run carries no spec; cannot build artifact")
+    spec_payload = spec.resolved().to_dict()
+    metrics = dict(run.metrics())
+    histograms = run.histograms()
+    summary = dict(run.summary or {})
+    shard = {
+        "index": 0,
+        "seed": int(spec_payload.get("seed", 0)),
+        "digest": run.digest(),
+        "semantic_digest": semantic_shard_digest(metrics, summary, histograms),
+        "summary": summary,
+    }
+    timings = {} if wall_s is None else {"wall_s": wall_s}
+    return RunArtifact(
+        source=source,
+        spec=spec_payload,
+        spec_digest=spec_digest_of(spec_payload),
+        seed=int(spec_payload.get("seed", 0)),
+        knobs=_knobs_from_spec(spec_payload, workers=None),
+        metrics=metrics,
+        histograms={k: dict(v) for k, v in histograms.items()},
+        shards=(shard,),
+        completeness={
+            "ok": True,
+            "shards": 1,
+            "completed": 1,
+            "failed": [],
+            "failed_indices": [],
+            "resumed": [],
+            "retries": 0,
+        },
+        summary=summary,
+        findings=tuple(dict(finding) for finding in findings),
+        timings=timings,
+        environment=environment_fingerprint(),
+    )
+
+
+def artifact_from_bench(
+    bench: str,
+    metrics: Mapping[str, object],
+    seed: int = 0,
+    knobs: Mapping[str, object] | None = None,
+    summary: Mapping[str, object] | None = None,
+    wall_s: float | None = None,
+) -> RunArtifact:
+    """A benchmark result as a ``flexsfp.run/1`` artifact.
+
+    Benches have no :class:`~repro.obs.scenario.ScenarioSpec`; the spec
+    payload is the bench's own identity (name + seed + knobs), which is
+    exactly what must be stable for BENCH history entries to be
+    comparable across commits.
+    """
+    knobs = dict(knobs or {})
+    batch_size = int(knobs.get("batch_size", 1) or 1)
+    spec_payload = {"kind": f"bench:{bench}", "seed": seed, **knobs}
+    metrics = dict(metrics)
+    summary = dict(summary or {})
+    shard = {
+        "index": 0,
+        "seed": seed,
+        "digest": semantic_shard_digest(metrics, summary, {}),
+        "semantic_digest": semantic_shard_digest(metrics, summary, {}),
+        "summary": summary,
+    }
+    return RunArtifact(
+        source=f"bench:{bench}",
+        spec=spec_payload,
+        spec_digest=spec_digest_of(spec_payload),
+        seed=seed,
+        knobs={
+            "engine": engine_name(batch_size),
+            "fastpath": bool(knobs.get("fastpath")),
+            "batch_size": batch_size,
+            "shards": int(knobs.get("shards", 1) or 1),
+            "workers": knobs.get("workers"),
+            "device": knobs.get("device"),
+            "fault_plan": knobs.get("fault_plan"),
+        },
+        metrics=metrics,
+        histograms={},
+        shards=(shard,),
+        completeness={
+            "ok": True,
+            "shards": 1,
+            "completed": 1,
+            "failed": [],
+            "failed_indices": [],
+            "resumed": [],
+            "retries": 0,
+        },
+        summary=summary,
+        timings={} if wall_s is None else {"wall_s": wall_s},
+        environment=environment_fingerprint(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading + legacy views
+# ----------------------------------------------------------------------
+def load_artifact(path) -> RunArtifact:
+    """Load a ``flexsfp.run/1`` document from disk.
+
+    Legacy ``flexsfp.fleet/1`` documents (PR 4/5 artifacts) are accepted
+    and upgraded in place, so historical CI artifacts stay diffable
+    against new runs.
+    """
+    from pathlib import Path
+
+    target = Path(path)
+    if not target.is_file():
+        raise ConfigError(f"artifact {target} does not exist")
+    try:
+        payload = json.loads(target.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"artifact {target} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ConfigError(f"artifact {target} is not a JSON document")
+    schema = payload.get("schema")
+    if schema == SCHEMA_FLEET:
+        return _upgrade_fleet_document(payload)
+    return RunArtifact.from_dict(payload)
+
+
+def _upgrade_fleet_document(payload: Mapping) -> RunArtifact:
+    """Build a RunArtifact from a legacy ``flexsfp.fleet/1`` document."""
+    spec_payload = dict(payload.get("spec", {}))
+    shards = tuple(
+        {
+            "index": int(shard["index"]),
+            "seed": int(shard["seed"]),
+            "digest": str(shard["digest"]),
+            "semantic_digest": semantic_shard_digest(
+                dict(shard.get("metrics", {})),
+                dict(shard.get("summary", {})),
+                dict(shard.get("histograms", {})),
+            ),
+            "summary": dict(shard.get("summary", {})),
+        }
+        for shard in payload.get("shards", ())
+    )
+    completeness = payload.get("completeness") or {
+        "ok": True,
+        "shards": spec_payload.get("shards", len(shards)),
+        "completed": len(shards),
+        "failed": [],
+        "failed_indices": [],
+        "resumed": [],
+        "retries": 0,
+    }
+    return RunArtifact(
+        source="flexsfp.fleet/1",
+        spec=spec_payload,
+        spec_digest=spec_digest_of(spec_payload),
+        seed=int(spec_payload.get("seed", 0)),
+        knobs=_knobs_from_spec(spec_payload, payload.get("workers")),
+        metrics=dict(payload.get("merged_metrics", {})),
+        histograms={
+            name: dict(state)
+            for name, state in dict(payload.get("merged_histograms", {})).items()
+        },
+        shards=shards,
+        completeness=dict(completeness),
+        timings={"wall_s": payload.get("wall_s", 0.0)},
+        supervisor=dict(payload.get("supervisor", {})),
+    )
+
+
+def fleet_view(artifact: RunArtifact) -> dict:
+    """Deprecated: the old ``flexsfp.fleet/1`` shape of a run artifact.
+
+    Kept so PR 4/5 consumers (dashboards, jq pipelines over CI
+    artifacts) survive the ``flexsfp.run/1`` migration; per-shard
+    metric snapshots — which the run artifact intentionally reduces to
+    digests — are not reconstructed.
+    """
+    warn_deprecated("fleet_view()", "the flexsfp.run/1 document itself")
+    return {
+        "schema": SCHEMA_FLEET,
+        "spec": dict(artifact.spec),
+        "workers": artifact.knobs.get("workers"),
+        "shards": [
+            {
+                "index": shard["index"],
+                "seed": shard["seed"],
+                "digest": shard["digest"],
+                "summary": dict(shard.get("summary", {})),
+            }
+            for shard in artifact.shards
+        ],
+        "digests": list(artifact.digests),
+        "merged_metrics": dict(artifact.metrics),
+        "merged_histograms": {k: dict(v) for k, v in artifact.histograms.items()},
+        "wall_s": artifact.timings.get("wall_s", 0.0),
+        "completeness": dict(artifact.completeness),
+        "supervisor": dict(artifact.supervisor),
+    }
+
+
+__all__ = [
+    "DEFAULT_BATCHED_SIZE",
+    "ENGINES",
+    "ENGINE_BATCHED",
+    "ENGINE_REFERENCE",
+    "RunArtifact",
+    "artifact_from_bench",
+    "artifact_from_fleet_result",
+    "artifact_from_scenario_run",
+    "engine_batch_size",
+    "engine_name",
+    "environment_fingerprint",
+    "fleet_view",
+    "load_artifact",
+    "spec_digest_of",
+]

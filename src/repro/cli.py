@@ -19,11 +19,17 @@ exposes the toolkit's analysis surface without writing any code:
   deterministic retry, ``--checkpoint``/``--resume`` journalling, and a
   distinct exit code (``4``) when retries were exhausted and the merged
   artifact is explicitly partial.
+* ``matrix`` — sweep engine/fastpath/shards/workers/device/fault-plan
+  axes over one scenario, diff every cell against a baseline cell, and
+  exit ``5`` on semantic divergence (with ``--fail-on-diverged``).
+* ``diff`` — compare two saved ``flexsfp.run/1`` artifacts; exit ``5``
+  when they diverge semantically, ``0`` when identical or timing-only.
 
 Every subcommand accepts ``--json``: the human table renderer is swapped
-for a single canonical ``flexsfp.table/1`` (or metrics/trace-schema) JSON
-document on stdout, built by :mod:`repro.obs.export` — the same schema
-family the metrics exporter emits.
+for a single canonical schema-tagged JSON document on stdout, built by
+:mod:`repro.obs.export`.  The run-producing commands (``run``, ``chaos``,
+``matrix``) all emit the unified ``flexsfp.run/1`` artifact — one
+document shape for every entry point, diffable with ``flexsfp diff``.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ import sys
 import warnings
 from pathlib import Path
 
-from ._util import write_text_atomic
+from ._util import warn_deprecated, write_text_atomic
 from .analysis import (
     check_app,
     default_lint_root,
@@ -43,10 +49,15 @@ from .analysis import (
     sort_findings,
 )
 from .apps import APP_FACTORIES, create_app
+from .artifact import (
+    artifact_from_scenario_run,
+    diff_artifacts,
+    load_artifact,
+)
 from .core.shells import ControlPlaneClass, ShellKind, ShellSpec
 from .costmodel import FlexSfpBom, table3_rows
 from .errors import ConfigError, ReproError
-from .faults import NAMED_PLANS, run_gauntlet
+from .faults import NAMED_PLANS
 from .fpga import (
     DEVICES,
     FORM_FACTORS,
@@ -56,9 +67,17 @@ from .fpga import (
     table2_rows,
 )
 from .hls import compile_app
+from .matrix import (
+    MatrixAxes,
+    parse_bool_axis,
+    parse_int_axis,
+    parse_optional_axis,
+    run_matrix,
+)
 from .obs import (
     SCENARIO_KINDS,
     SCENARIOS,
+    SCHEMA_DIFF,
     SCHEMA_FLEET,
     SCHEMA_TRACE,
     ScenarioSpec,
@@ -73,8 +92,11 @@ from .testbed import PowerTestbed
 _SHELLS = {kind.value: kind for kind in ShellKind}
 
 # Exit codes beyond the usual 0/1/2: a supervised fleet run that lost
-# shards completes and writes its artifact, but says so unmistakably.
+# shards completes and writes its artifact, but says so unmistakably
+# (4); a matrix or artifact diff that found *semantic* divergence —
+# different computed results, not just timings — says so with 5.
 EXIT_PARTIAL = 4
+EXIT_DIVERGED = 5
 
 
 # ----------------------------------------------------------------------
@@ -356,37 +378,59 @@ def cmd_envelope(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     plan = NAMED_PLANS[args.plan](args.seed)
-    result = run_gauntlet(
+    # The gauntlet runs through the instrumented chaos scenario (same
+    # run_gauntlet invocation, same defaults, plus a metrics registry) so
+    # the chaos CLI emits the same flexsfp.run/1 artifact as `flexsfp
+    # run` and the benches.
+    run = ScenarioSpec(
+        kind="chaos",
+        fault_plan=args.plan,
         seed=args.seed,
-        plan=args.plan,
         fastpath=True if args.fastpath else None,
         batch_size=args.batch if args.batch else None,
+    ).run()
+    result = run.summary
+    findings = [
+        {"time_s": e.time_s, "kind": e.kind, "target": e.target} for e in plan
+    ]
+    artifact = artifact_from_scenario_run(
+        run, source="chaos-gauntlet", findings=findings
     )
     metric_rows = [
-        ("packets sent", result.packets_sent),
-        ("packets lost", result.packets_lost),
-        ("loss fraction", f"{result.loss_fraction:.4f}"),
-        ("damage incidents", result.incidents),
-        ("fleet repairs", result.repairs),
-        ("self-healed fraction", f"{result.self_healed_fraction:.2f}"),
-        ("recovery time (ms)", f"{result.recovery_time_s * 1e3:.1f}"),
-        ("watchdog reboots", result.watchdog_reboots),
-        ("failed boots", result.failed_boots),
-        ("healthy at end", result.healthy_at_end),
+        ("packets sent", result["packets_sent"]),
+        ("packets lost", result["packets_lost"]),
+        ("loss fraction", f"{result['loss_fraction']:.4f}"),
+        ("damage incidents", result["incidents"]),
+        ("fleet repairs", result["repairs"]),
+        ("self-healed fraction", f"{result['self_healed_fraction']:.2f}"),
+        ("recovery time (ms)", f"{result['recovery_time_s'] * 1e3:.1f}"),
+        ("watchdog reboots", result["watchdog_reboots"]),
+        ("failed boots", result["failed_boots"]),
+        ("healthy at end", result["healthy_at_end"]),
     ]
+    document = artifact.document()
+    if args.out is not None:
+        write_text_atomic(args.out, document + "\n")
     if args.json:
-        print(
-            table_json(
-                "chaos",
-                ("metric", "value"),
-                metric_rows,
-                plan=args.plan,
-                seed=args.seed,
-                signature=plan.signature(),
-                events=[[e.time_s, e.kind, e.target] for e in plan],
-                result=result.to_dict(),
+        if args.legacy_table:
+            warn_deprecated(
+                "flexsfp chaos --json --legacy-table",
+                "the flexsfp.run/1 document (default --json output)",
             )
-        )
+            print(
+                table_json(
+                    "chaos",
+                    ("metric", "value"),
+                    metric_rows,
+                    plan=args.plan,
+                    seed=args.seed,
+                    signature=plan.signature(),
+                    events=[[e.time_s, e.kind, e.target] for e in plan],
+                    result=dict(result),
+                )
+            )
+        else:
+            print(document)
         return 0
     print(f"plan {args.plan!r} seed={args.seed} sig={plan.signature()[:16]}…")
     _print_rows(
@@ -395,6 +439,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     print()
     _print_rows(("metric", "value"), metric_rows)
+    if args.out is not None:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -526,7 +572,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
     )
-    document = json_document(SCHEMA_FLEET, **result.to_dict())
+    if args.legacy_fleet:
+        warn_deprecated(
+            "flexsfp run --legacy-fleet (flexsfp.fleet/1 output)",
+            "the flexsfp.run/1 artifact (default output)",
+        )
+        document = json_document(SCHEMA_FLEET, **result.to_dict())
+    else:
+        document = result.to_artifact().document()
     if args.out is not None:
         # Atomic: a run killed mid-write never leaves a truncated artifact.
         write_text_atomic(args.out, document + "\n")
@@ -571,6 +624,95 @@ def cmd_run(args: argparse.Namespace) -> int:
                 )
     if args.out is not None:
         print(f"wrote {args.out}")
+    return exit_code
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    axes = MatrixAxes(
+        engines=tuple(args.engines.split(",")) if args.engines else ("reference",),
+        fastpath=parse_bool_axis(args.fastpath, "fastpath"),
+        shards=parse_int_axis(args.shards, "shards"),
+        workers=parse_int_axis(args.workers, "workers"),
+        devices=parse_optional_axis(args.devices, "devices"),
+        fault_plans=parse_optional_axis(args.fault_plans, "fault-plans"),
+        batched_size=args.batched_size,
+    )
+    spec = ScenarioSpec(kind=args.scenario, seed=args.seed)
+    progress = None
+    if not args.json:
+        total = axes.size()
+
+        def progress(label: str, _counter=iter(range(1, total + 1))) -> None:
+            print(f"[{next(_counter)}/{total}] {label}")
+
+    result = run_matrix(
+        spec,
+        axes,
+        baseline=args.baseline,
+        start_method=args.start_method,
+        progress=progress,
+    )
+    document = result.document()
+    if args.out is not None:
+        write_text_atomic(args.out, document + "\n")
+    exit_code = 0
+    if not result.ok:
+        exit_code = EXIT_PARTIAL
+    if result.diverged and args.fail_on_diverged:
+        exit_code = EXIT_DIVERGED
+    if args.json:
+        print(document)
+        return exit_code
+    print()
+    _print_rows(
+        ("cell", "verdict", "semantic", "timing-only", "complete"),
+        result.rows(),
+    )
+    counts = result.counts()
+    print(
+        f"\n{counts['cells']} cell(s) vs baseline [{result.baseline}]: "
+        f"{counts['diverged']} diverged, {counts['partial']} partial "
+        f"-> {result.verdict}"
+    )
+    for cell in result.diverged_cells:
+        for entry in cell.diff.semantic_entries:
+            print(
+                f"  {cell.config.label}: {entry.kind.value} {entry.name}: "
+                f"{entry.a!r} != {entry.b!r}"
+            )
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    return exit_code
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    a = load_artifact(args.a)
+    b = load_artifact(args.b)
+    diff = diff_artifacts(a, b)
+    exit_code = EXIT_DIVERGED if diff.diverged else 0
+    if args.json:
+        print(json_document(SCHEMA_DIFF, **diff.to_dict()))
+        return exit_code
+    print(f"A: {args.a} ({a.source}, seed={a.seed}, spec={a.spec_digest[:12]})")
+    print(f"B: {args.b} ({b.source}, seed={b.seed}, spec={b.spec_digest[:12]})")
+    if diff.entries:
+        _print_rows(
+            ("kind", "field", "A", "B"),
+            [
+                (entry.kind.value, entry.name, entry.a, entry.b)
+                for entry in diff.entries
+            ],
+        )
+    for note in diff.notes:
+        print(f"note: {note}")
+    counts = diff.counts()
+    semantic = sum(
+        count for kind, count in counts.items() if kind != "timing-only"
+    )
+    print(
+        f"verdict: {diff.verdict} "
+        f"({semantic} semantic, {counts.get('timing-only', 0)} timing-only)"
+    )
     return exit_code
 
 
@@ -670,6 +812,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
+    )
+    chaos.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the flexsfp.run/1 artifact to FILE (atomic)",
+    )
+    chaos.add_argument(
+        "--legacy-table",
+        action="store_true",
+        dest="legacy_table",
+        help="deprecated: emit the pre-run/1 flexsfp.table/1 JSON shape "
+        "(with --json); removed in 2.0",
     )
     chaos.set_defaults(func=cmd_chaos)
 
@@ -796,8 +951,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="FILE",
         default=None,
-        help="also write the flexsfp.fleet/1 JSON document to FILE "
+        help="also write the flexsfp.run/1 artifact to FILE "
         "(atomic: temp file + rename)",
+    )
+    run.add_argument(
+        "--legacy-fleet",
+        action="store_true",
+        dest="legacy_fleet",
+        help="deprecated: emit the pre-run/1 flexsfp.fleet/1 document "
+        "shape; removed in 2.0",
     )
     run.add_argument(
         "--shard-timeout",
@@ -833,6 +995,86 @@ def build_parser() -> argparse.ArgumentParser:
         "keep journalling into the same file",
     )
     run.set_defaults(func=cmd_run)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="sweep scenario axes, diff every cell against a baseline",
+        parents=[common],
+    )
+    matrix.add_argument(
+        "--scenario", choices=sorted(SCENARIO_KINDS), default="nat-linerate"
+    )
+    matrix.add_argument("--seed", type=int, default=1, help="root seed")
+    matrix.add_argument(
+        "--engines",
+        default="reference",
+        help="comma-separated engine axis: reference,batched",
+    )
+    matrix.add_argument(
+        "--fastpath",
+        default="off",
+        help="comma-separated fastpath axis: on,off",
+    )
+    matrix.add_argument(
+        "--shards", default="1", help="comma-separated shard-count axis: 1,4"
+    )
+    matrix.add_argument(
+        "--workers", default="1", help="comma-separated worker-count axis"
+    )
+    matrix.add_argument(
+        "--devices",
+        default="none",
+        help="comma-separated device axis ('none' keeps the base spec)",
+    )
+    matrix.add_argument(
+        "--fault-plans",
+        default="none",
+        dest="fault_plans",
+        help="comma-separated fault-plan axis ('none' keeps the base spec)",
+    )
+    matrix.add_argument(
+        "--baseline",
+        type=int,
+        default=0,
+        help="index of the baseline cell in axis-major order (default: 0)",
+    )
+    matrix.add_argument(
+        "--batched-size",
+        type=int,
+        default=16,
+        dest="batched_size",
+        help="batch size the 'batched' engine cells run (default: 16)",
+    )
+    matrix.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        dest="start_method",
+        help="multiprocessing start method for multi-worker cells",
+    )
+    matrix.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the merged flexsfp.matrix/1 document to FILE (atomic)",
+    )
+    matrix.add_argument(
+        "--fail-on-diverged",
+        action="store_true",
+        dest="fail_on_diverged",
+        help=f"exit {EXIT_DIVERGED} if any cell diverges semantically "
+        "from the baseline (CI gate)",
+    )
+    matrix.set_defaults(func=cmd_matrix)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two saved flexsfp.run/1 artifacts",
+        parents=[common],
+    )
+    diff.add_argument("a", metavar="A.json", help="baseline artifact")
+    diff.add_argument("b", metavar="B.json", help="candidate artifact")
+    diff.set_defaults(func=cmd_diff)
 
     return parser
 

@@ -13,6 +13,9 @@ Recognized variables:
 ``FLEXSFP_FASTPATH``       flow-cache fast path default (``1/true/on/yes``)
 ``FLEXSFP_BATCH``          PPE batch size default (integer ≥ 1)
 ``FLEXSFP_METRICS_DIR``    benchmark metrics-artifact export directory
+``FLEXSFP_BENCH_DIR``      BENCH history directory (``flexsfp.run/1``
+                           artifacts + ``BENCH_*.json`` history files);
+                           falls back to ``FLEXSFP_METRICS_DIR``
 ``FLEXSFP_WORKERS``        default worker count for sharded scenario runs
 ``FLEXSFP_MP_START``       multiprocessing start method (``fork``/``spawn``/
                            ``forkserver``); unset picks the best available
@@ -40,6 +43,7 @@ _TRUE_WORDS = frozenset({"1", "true", "on", "yes"})
 ENV_FASTPATH = "FLEXSFP_FASTPATH"
 ENV_BATCH = "FLEXSFP_BATCH"
 ENV_METRICS_DIR = "FLEXSFP_METRICS_DIR"
+ENV_BENCH_DIR = "FLEXSFP_BENCH_DIR"
 ENV_WORKERS = "FLEXSFP_WORKERS"
 ENV_MP_START = "FLEXSFP_MP_START"
 ENV_SHARD_TIMEOUT = "FLEXSFP_SHARD_TIMEOUT"
@@ -102,6 +106,7 @@ class Settings:
     fastpath: bool = False
     batch_size: int = 1
     metrics_dir: Path | None = None
+    bench_dir: Path | None = None
     workers: int | None = None
     start_method: str | None = None
     shard_timeout_s: float | None = None
@@ -114,6 +119,7 @@ class Settings:
         if env is None:
             env = os.environ
         metrics_dir = env.get(ENV_METRICS_DIR, "").strip()
+        bench_dir = env.get(ENV_BENCH_DIR, "").strip()
         start = env.get(ENV_MP_START, "").strip().lower()
         workers = parse_int(env.get(ENV_WORKERS), 0, minimum=0)
         shard_timeout = parse_float(env.get(ENV_SHARD_TIMEOUT), 0.0, minimum=0.0)
@@ -121,6 +127,7 @@ class Settings:
             fastpath=parse_bool(env.get(ENV_FASTPATH)),
             batch_size=parse_int(env.get(ENV_BATCH), 1, minimum=1),
             metrics_dir=Path(metrics_dir) if metrics_dir else None,
+            bench_dir=Path(bench_dir) if bench_dir else None,
             workers=workers if workers > 0 else None,
             start_method=start if start in _START_METHODS else None,
             shard_timeout_s=shard_timeout if shard_timeout > 0 else None,
@@ -129,6 +136,11 @@ class Settings:
                 env.get(ENV_RETRY_BACKOFF), 0.05, minimum=0.0
             ),
         )
+
+    @property
+    def bench_export_dir(self) -> Path | None:
+        """Where bench artifacts/history land: bench_dir, then metrics_dir."""
+        return self.bench_dir if self.bench_dir is not None else self.metrics_dir
 
     def with_overrides(self, **changes: object) -> "Settings":
         """A copy with the given fields replaced (keyword-checked)."""

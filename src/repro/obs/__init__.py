@@ -9,10 +9,14 @@ the collected state as Prometheus text, JSON documents, or JSON Lines.
 """
 
 from .export import (
+    SCHEMA_BENCH_HISTORY,
+    SCHEMA_DIFF,
     SCHEMA_FLEET,
     SCHEMA_JOURNAL,
+    SCHEMA_MATRIX,
     SCHEMA_METRICS,
     SCHEMA_PROFILE,
+    SCHEMA_RUN,
     SCHEMA_TABLE,
     SCHEMA_TRACE,
     json_document,
@@ -58,10 +62,14 @@ __all__ = [
     "MetricsRegistry",
     "SCENARIOS",
     "SCENARIO_KINDS",
+    "SCHEMA_BENCH_HISTORY",
+    "SCHEMA_DIFF",
     "SCHEMA_FLEET",
     "SCHEMA_JOURNAL",
+    "SCHEMA_MATRIX",
     "SCHEMA_METRICS",
     "SCHEMA_PROFILE",
+    "SCHEMA_RUN",
     "SCHEMA_TABLE",
     "SCHEMA_TRACE",
     "STAGE_APP",

@@ -109,6 +109,16 @@ class FleetRunResult:
             "supervisor": dict(self.supervisor),
         }
 
+    def to_artifact(self, source: str = "flexsfp-run"):
+        """This run as a unified ``flexsfp.run/1`` artifact.
+
+        The artifact (not this raw result dict) is what entry points
+        emit and what :func:`repro.artifact.diff_artifacts` consumes.
+        """
+        from ..artifact import artifact_from_fleet_result  # deferred: cycle
+
+        return artifact_from_fleet_result(self, source=source)
+
 
 def shard_spec(spec: ScenarioSpec, index: int) -> ScenarioSpec:
     """The single-shard spec that shard ``index`` of ``spec`` executes."""

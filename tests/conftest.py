@@ -8,6 +8,22 @@ from repro.core.ppe import Direction, PPEContext
 from repro.sim import Simulator
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/ corpus from the current code "
+        "instead of asserting byte-identity (use after an intentional "
+        "flexsfp.run/1 schema change, then review the diff)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

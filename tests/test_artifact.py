@@ -1,0 +1,216 @@
+"""Unit tests for the ``flexsfp.run/1`` artifact model and builders."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.artifact import (
+    DEFAULT_BATCHED_SIZE,
+    RunArtifact,
+    artifact_from_bench,
+    artifact_from_scenario_run,
+    diff_artifacts,
+    engine_batch_size,
+    engine_name,
+    environment_fingerprint,
+    fleet_view,
+    load_artifact,
+    spec_digest_of,
+)
+from repro.errors import ConfigError
+from repro.obs.export import SCHEMA_FLEET, json_document
+from repro.obs.scenario import ScenarioSpec
+from repro.parallel.runner import run_sharded
+
+
+@pytest.fixture(scope="module")
+def fleet_artifact() -> RunArtifact:
+    spec = ScenarioSpec(
+        kind="nat-linerate", seed=5, shards=2, fastpath=False, batch_size=1
+    )
+    return run_sharded(spec, workers=1).to_artifact()
+
+
+class TestEngineNames:
+    def test_engine_name_from_batch_size(self):
+        assert engine_name(None) == "reference"
+        assert engine_name(1) == "reference"
+        assert engine_name(2) == "batched"
+        assert engine_name(16) == "batched"
+
+    def test_engine_batch_size_round_trips(self):
+        assert engine_batch_size("reference") == 1
+        assert engine_batch_size("batched") == DEFAULT_BATCHED_SIZE
+        assert engine_batch_size("batched", 8) == 8
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            engine_batch_size("turbo")
+
+
+class TestSpecDigest:
+    def test_digest_ignores_key_order(self):
+        payload = {"kind": "nat-linerate", "seed": 3, "shards": 2}
+        reordered = {"shards": 2, "kind": "nat-linerate", "seed": 3}
+        assert spec_digest_of(payload) == spec_digest_of(reordered)
+
+    def test_digest_sees_value_changes(self):
+        payload = {"kind": "nat-linerate", "seed": 3}
+        assert spec_digest_of(payload) != spec_digest_of({**payload, "seed": 4})
+
+
+class TestRunArtifact:
+    def test_document_is_schema_tagged_single_line(self, fleet_artifact):
+        document = fleet_artifact.document()
+        assert "\n" not in document
+        payload = json.loads(document)
+        assert payload["schema"] == "flexsfp.run/1"
+        assert payload["spec_digest"] == fleet_artifact.spec_digest
+
+    def test_round_trip_through_dict(self, fleet_artifact):
+        clone = RunArtifact.from_dict(fleet_artifact.to_dict())
+        assert clone.to_dict() == fleet_artifact.to_dict()
+        assert diff_artifacts(clone, fleet_artifact).identical
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ConfigError, match="expected"):
+            RunArtifact.from_dict({"schema": "flexsfp.table/1"})
+
+    def test_knobs_reflect_spec(self, fleet_artifact):
+        knobs = fleet_artifact.knobs
+        assert knobs["engine"] == "reference"
+        assert knobs["batch_size"] == 1
+        assert knobs["shards"] == 2
+        assert knobs["fastpath"] is False
+        assert knobs["device"] == "MPF200T"
+
+    def test_normalized_blanks_only_volatile_sections(self, fleet_artifact):
+        normalized = fleet_artifact.normalized()
+        assert normalized.timings == {}
+        assert normalized.environment == {}
+        assert normalized.supervisor == {}
+        assert normalized.metrics == fleet_artifact.metrics
+        assert normalized.shards == fleet_artifact.shards
+
+    def test_artifact_digest_excludes_volatile_sections(self, fleet_artifact):
+        from dataclasses import replace
+
+        retimed = replace(fleet_artifact, timings={"wall_s": 1e9})
+        assert retimed.artifact_digest() == fleet_artifact.artifact_digest()
+
+    def test_artifact_digest_sees_metric_changes(self, fleet_artifact):
+        from dataclasses import replace
+
+        tampered = replace(
+            fleet_artifact,
+            metrics={**fleet_artifact.metrics, "fiber.rx.packets": -1},
+        )
+        assert tampered.artifact_digest() != fleet_artifact.artifact_digest()
+
+    def test_golden_bytes_end_with_newline_and_parse(self, fleet_artifact):
+        produced = fleet_artifact.golden_bytes()
+        assert produced.endswith(b"\n")
+        payload = json.loads(produced)
+        assert payload["schema"] == "flexsfp.run/1"
+        assert payload["timings"] == {}
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        assert set(env) == {
+            "python", "implementation", "platform", "machine", "cpus", "repro",
+        }
+        assert env["cpus"] >= 1
+
+
+class TestScenarioRunBuilder:
+    def test_chaos_scenario_artifact(self):
+        run = ScenarioSpec(
+            kind="chaos", fault_plan="smoke", seed=7, fastpath=False, batch_size=1
+        ).resolved().run()
+        artifact = artifact_from_scenario_run(
+            run, source="chaos-gauntlet", findings=[{"kind": "optical_cut"}]
+        )
+        assert artifact.source == "chaos-gauntlet"
+        assert artifact.seed == 7
+        assert artifact.completeness["ok"] is True
+        assert artifact.completeness["shards"] == 1
+        assert len(artifact.shards) == 1
+        assert artifact.shards[0]["digest"] == run.digest()
+        assert artifact.summary["packets_sent"] > 0
+        assert artifact.findings == ({"kind": "optical_cut"},)
+
+    def test_scenario_artifact_spec_digest_is_stable(self):
+        spec = ScenarioSpec(
+            kind="chaos", fault_plan="smoke", seed=7, fastpath=False, batch_size=1
+        )
+        first = artifact_from_scenario_run(spec.resolved().run(), source="x")
+        second = artifact_from_scenario_run(spec.resolved().run(), source="x")
+        assert first.spec_digest == second.spec_digest
+        assert first.artifact_digest() == second.artifact_digest()
+
+
+class TestBenchBuilder:
+    def test_bench_artifact_shape(self):
+        artifact = artifact_from_bench(
+            "e2e_nat_linerate",
+            metrics={"sim_pps": 123456.0, "delivered.packets": 99},
+            seed=1,
+            knobs={"fastpath": True, "batch_size": 16},
+            summary={"speedup": 3.4},
+            wall_s=1.25,
+        )
+        assert artifact.source == "bench:e2e_nat_linerate"
+        assert artifact.spec["kind"] == "bench:e2e_nat_linerate"
+        assert artifact.knobs["engine"] == "batched"
+        assert artifact.timings == {"wall_s": 1.25}
+        assert artifact.completeness["ok"] is True
+
+    def test_bench_spec_digest_keys_on_knobs(self):
+        base = artifact_from_bench("b", metrics={}, seed=1, knobs={"x": 1})
+        same = artifact_from_bench("b", metrics={"y": 9}, seed=1, knobs={"x": 1})
+        other = artifact_from_bench("b", metrics={}, seed=1, knobs={"x": 2})
+        assert base.spec_digest == same.spec_digest
+        assert base.spec_digest != other.spec_digest
+
+
+class TestLoadArtifact:
+    def test_load_run_document(self, fleet_artifact, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(fleet_artifact.document() + "\n")
+        loaded = load_artifact(path)
+        assert diff_artifacts(loaded, fleet_artifact).identical
+
+    def test_load_upgrades_legacy_fleet_document(self, tmp_path):
+        spec = ScenarioSpec(
+            kind="nat-linerate", seed=5, shards=2, fastpath=False, batch_size=1
+        )
+        result = run_sharded(spec, workers=1)
+        legacy = tmp_path / "fleet.json"
+        legacy.write_text(json_document(SCHEMA_FLEET, **result.to_dict()) + "\n")
+        upgraded = load_artifact(legacy)
+        assert upgraded.source == "flexsfp.fleet/1"
+        # The upgraded view is semantically identical to the native one.
+        diff = diff_artifacts(upgraded, result.to_artifact())
+        assert not diff.diverged
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            load_artifact(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_artifact(bad)
+
+
+class TestLegacyFleetView:
+    def test_fleet_view_shape_and_deprecation(self, fleet_artifact):
+        with pytest.warns(DeprecationWarning, match="fleet_view"):
+            view = fleet_view(fleet_artifact)
+        assert view["schema"] == SCHEMA_FLEET
+        assert view["merged_metrics"] == fleet_artifact.metrics
+        assert view["digests"] == list(fleet_artifact.digests)
+        assert len(view["shards"]) == len(fleet_artifact.shards)

@@ -162,6 +162,18 @@ class TestJsonOutput:
     def test_chaos_json(self, capsys):
         code, doc = run_json(capsys, "chaos", "smoke", "--seed", "3")
         assert code == 0
+        assert doc["schema"] == "flexsfp.run/1"
+        assert doc["source"] == "chaos-gauntlet"
+        assert doc["spec"]["fault_plan"] == "smoke" and doc["seed"] == 3
+        assert doc["findings"], "fault plan events missing"
+        assert doc["summary"]["packets_sent"] > 0
+
+    def test_chaos_json_legacy_table(self, capsys):
+        code, doc = run_json(
+            capsys, "chaos", "smoke", "--seed", "3", "--legacy-table"
+        )
+        assert code == 0
+        assert doc["schema"] == "flexsfp.table/1"
         assert doc["plan"] == "smoke" and doc["seed"] == 3
         assert doc["events"], "fault plan events missing"
         assert doc["result"]["packets_sent"] > 0
@@ -202,13 +214,25 @@ class TestRunSubcommand:
             "--workers", "1", "--seed", "3",
         )
         assert code == 0
-        assert doc["schema"] == "flexsfp.fleet/1"
+        assert doc["schema"] == "flexsfp.run/1"
+        assert doc["source"] == "flexsfp-run"
         assert doc["spec"]["kind"] == "nat-linerate"
         assert doc["spec"]["shards"] == 2
         assert len(doc["shards"]) == 2
+        assert all(s["digest"] and s["semantic_digest"] for s in doc["shards"])
+        assert doc["spec_digest"] and doc["knobs"]["engine"] == "reference"
+        assert doc["metrics"]["fiber.rx.packets"] > 0
+        assert "module0.ppe.nat.latency_ns" in doc["histograms"]
+
+    def test_run_json_legacy_fleet(self, capsys):
+        code, doc = run_json(
+            capsys, "run", "--scenario", "nat-linerate", "--shards", "2",
+            "--workers", "1", "--seed", "3", "--legacy-fleet",
+        )
+        assert code == 0
+        assert doc["schema"] == "flexsfp.fleet/1"
         assert doc["digests"] == [s["digest"] for s in doc["shards"]]
         assert doc["merged_metrics"]["fiber.rx.packets"] > 0
-        assert "module0.ppe.nat.latency_ns" in doc["merged_histograms"]
 
     def test_run_text_table(self, capsys):
         code, out, _ = run(
@@ -227,7 +251,7 @@ class TestRunSubcommand:
         )
         assert code == 0
         doc = json.loads(artifact.read_text())
-        assert doc["schema"] == "flexsfp.fleet/1"
+        assert doc["schema"] == "flexsfp.run/1"
         assert len(doc["shards"]) == 1
 
     def test_run_bad_shards_rejected(self, capsys):
@@ -315,7 +339,9 @@ class TestSupervisedRun:
         )
         assert code == 0
         assert resumed["spec"] == doc["spec"]
-        assert resumed["digests"] == doc["digests"]
+        assert [s["digest"] for s in resumed["shards"]] == [
+            s["digest"] for s in doc["shards"]
+        ]
         assert resumed["completeness"]["resumed"] == [0, 1]
 
     def test_resume_after_partial_completes_the_campaign(
@@ -344,8 +370,10 @@ class TestSupervisedRun:
             capsys, "run", "--scenario", "nat-linerate", "--shards", "3",
             "--workers", "1", "--seed", "3",
         )
-        assert resumed["digests"] == clean["digests"]
-        assert resumed["merged_metrics"] == clean["merged_metrics"]
+        assert [s["digest"] for s in resumed["shards"]] == [
+            s["digest"] for s in clean["shards"]
+        ]
+        assert resumed["metrics"] == clean["metrics"]
 
 
 class TestDeprecationGate:
