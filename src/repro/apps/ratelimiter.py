@@ -97,6 +97,16 @@ class RateLimiter(PPEApplication):
         """
         return None
 
+    def compiled_profile(self) -> dict:
+        """Never fusible: token buckets debit per packet at arrival time.
+
+        A fused recipe would freeze one conform/police verdict over a
+        whole burst while the real meter flips mid-burst as tokens drain.
+        The compiled engine therefore deopts every ratelimiter burst to
+        the exact per-frame lane (explicit override to document why).
+        """
+        return {"fusible": False, "key_bits": 0, "rewrite_bits": 0}
+
     def pipeline_spec(self) -> PipelineSpec:
         return PipelineSpec(
             name=self.name,

@@ -19,8 +19,10 @@ from .diff import (
 from .run import (
     DEFAULT_BATCHED_SIZE,
     ENGINE_BATCHED,
+    ENGINE_COMPILED,
     ENGINE_REFERENCE,
     ENGINES,
+    EngineConfig,
     RunArtifact,
     artifact_from_bench,
     artifact_from_fleet_result,
@@ -37,8 +39,10 @@ __all__ = [
     "DEFAULT_BATCHED_SIZE",
     "ENGINES",
     "ENGINE_BATCHED",
+    "ENGINE_COMPILED",
     "ENGINE_REFERENCE",
     "ArtifactDiff",
+    "EngineConfig",
     "DiffEntry",
     "DiffKind",
     "RunArtifact",

@@ -47,9 +47,10 @@ NONSEMANTIC_NAMES = frozenset({"sim.events", "wall_s"})
 # Prefix families: wall-clock profiler attribution and supervision
 # counters (retry counts depend on injected chaos, not on results).
 NONSEMANTIC_PREFIXES = ("sim.profile.", "fleet.supervisor.")
-# Infix families: flow-cache state and fast-path hit counters exist only
-# when the fast path runs and measure the *strategy*, not the result.
-NONSEMANTIC_INFIXES = (".flow_cache.", ".fastpath_hits.")
+# Infix families: flow-cache state, fast-path hit counters, and compiled
+# engine counters (recipe hits, deopts, compile wall time) exist only
+# when that strategy runs and measure the *strategy*, not the result.
+NONSEMANTIC_INFIXES = (".flow_cache.", ".fastpath_hits.", ".compiled.")
 # Leaf names that are configuration echoes of the execution engine.
 NONSEMANTIC_SUFFIXES = (".batch_size",)
 

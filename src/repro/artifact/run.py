@@ -28,6 +28,17 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from .._util import warn_deprecated
+from ..engine import (  # noqa: F401 - canonical home is repro.engine; re-exported
+    DEFAULT_BATCHED_SIZE,
+    ENGINE_BATCHED,
+    ENGINE_COMPILED,
+    ENGINE_REFERENCE,
+    ENGINES,
+    EngineConfig,
+    engine_batch_size,
+    engine_name,
+    resolve_engine,
+)
 from ..errors import ConfigError
 from ..obs.export import SCHEMA_FLEET, SCHEMA_RUN, json_document
 from .diff import semantic_shard_digest
@@ -35,31 +46,6 @@ from .diff import semantic_shard_digest
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..obs.scenario import ScenarioRun
     from ..parallel.runner import FleetRunResult
-
-# Canonical engine names: the matrix axis vocabulary.  ``reference``
-# processes one frame per event; ``batched`` drains bursts through the
-# batched PPE engine (bit-exact by the PR 2 contract).
-ENGINE_REFERENCE = "reference"
-ENGINE_BATCHED = "batched"
-ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED)
-# Batch size a ``batched`` matrix cell runs unless overridden.
-DEFAULT_BATCHED_SIZE = 16
-
-
-def engine_name(batch_size: int | None) -> str:
-    """The engine a batch size selects (``None``/1 → reference)."""
-    return ENGINE_BATCHED if batch_size is not None and batch_size > 1 else (
-        ENGINE_REFERENCE
-    )
-
-
-def engine_batch_size(engine: str, batched_size: int = DEFAULT_BATCHED_SIZE) -> int:
-    """The batch size that realizes a named engine."""
-    if engine == ENGINE_REFERENCE:
-        return 1
-    if engine == ENGINE_BATCHED:
-        return batched_size
-    raise ConfigError(f"unknown engine {engine!r}; known: {list(ENGINES)}")
 
 
 def environment_fingerprint() -> dict:
@@ -214,9 +200,16 @@ class RunArtifact:
 # ----------------------------------------------------------------------
 def _knobs_from_spec(spec_payload: Mapping, workers: int | None) -> dict:
     batch_size = spec_payload.get("batch_size") or 1
+    engine = str(spec_payload.get("engine") or engine_name(batch_size))
+    fastpath = bool(spec_payload.get("fastpath"))
     return {
-        "engine": engine_name(batch_size),
-        "fastpath": bool(spec_payload.get("fastpath")),
+        "engine": engine,
+        "engine_config": {
+            "tier": engine,
+            "fastpath": fastpath,
+            "batch_size": batch_size,
+        },
+        "fastpath": fastpath,
         "batch_size": batch_size,
         "shards": int(spec_payload.get("shards", 1)),
         "workers": workers,
@@ -342,7 +335,21 @@ def artifact_from_bench(
     comparable across commits.
     """
     knobs = dict(knobs or {})
-    batch_size = int(knobs.get("batch_size", 1) or 1)
+    # One coherent engine selection for the knob block: an explicit
+    # engine_config knob is taken verbatim (and validated); otherwise the
+    # bench's tier/legacy knobs resolve exactly like any other entrypoint.
+    provided = knobs.get("engine_config")
+    if isinstance(provided, Mapping):
+        config = EngineConfig(**dict(provided))
+    else:
+        raw_fastpath = knobs.get("fastpath")
+        raw_batch = knobs.get("batch_size")
+        config = resolve_engine(
+            knobs.get("engine"),
+            None if raw_fastpath is None else bool(raw_fastpath),
+            None if raw_batch is None else int(raw_batch),
+        )
+    engine, fastpath, batch_size = config.tier, config.fastpath, config.batch_size
     spec_payload = {"kind": f"bench:{bench}", "seed": seed, **knobs}
     metrics = dict(metrics)
     summary = dict(summary or {})
@@ -359,8 +366,9 @@ def artifact_from_bench(
         spec_digest=spec_digest_of(spec_payload),
         seed=seed,
         knobs={
-            "engine": engine_name(batch_size),
-            "fastpath": bool(knobs.get("fastpath")),
+            "engine": engine,
+            "engine_config": config.to_dict(),
+            "fastpath": fastpath,
             "batch_size": batch_size,
             "shards": int(knobs.get("shards", 1) or 1),
             "workers": knobs.get("workers"),
@@ -491,7 +499,9 @@ __all__ = [
     "DEFAULT_BATCHED_SIZE",
     "ENGINES",
     "ENGINE_BATCHED",
+    "ENGINE_COMPILED",
     "ENGINE_REFERENCE",
+    "EngineConfig",
     "RunArtifact",
     "artifact_from_bench",
     "artifact_from_fleet_result",

@@ -56,6 +56,7 @@ from .artifact import (
 )
 from .core.shells import ControlPlaneClass, ShellKind, ShellSpec
 from .costmodel import FlexSfpBom, table3_rows
+from .engine import ENGINES
 from .errors import ConfigError, ReproError
 from .faults import NAMED_PLANS
 from .fpga import (
@@ -137,6 +138,29 @@ def _shell_from_args(args: argparse.Namespace) -> ShellSpec:
             ControlPlaneClass.SOC if getattr(args, "soc", False) else ControlPlaneClass.SOFTCORE
         ),
     )
+
+
+def _engine_from_args(args: argparse.Namespace) -> str | None:
+    """The ``--engine`` tier, after rejecting mixed knob spellings.
+
+    ``--engine`` and the legacy ``--fastpath``/``--batch`` flags are two
+    spellings of the same selection; mixing them is ambiguous (which one
+    carries the options?) and exits 2.  Explicit legacy flags keep
+    working but emit a deprecation warning — ``flexsfp metrics
+    --fail-on-deprecated`` turns that warning into exit 3.
+    """
+    engine = getattr(args, "engine", None)
+    legacy = bool(getattr(args, "fastpath", False)) or bool(
+        getattr(args, "batch", 0)
+    )
+    if engine is not None and legacy:
+        raise ConfigError(
+            "--engine conflicts with the legacy --fastpath/--batch flags; "
+            "pass the engine tier alone and let it carry the options"
+        )
+    if legacy:
+        warn_deprecated("flexsfp --fastpath/--batch", "--engine TIER")
+    return engine
 
 
 # ----------------------------------------------------------------------
@@ -386,6 +410,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         kind="chaos",
         fault_plan=args.plan,
         seed=args.seed,
+        engine=_engine_from_args(args),
         fastpath=True if args.fastpath else None,
         batch_size=args.batch if args.batch else None,
     ).run()
@@ -489,14 +514,17 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    spec = ScenarioSpec(
-        kind=args.scenario,
-        fastpath=args.fastpath,
-        batch_size=args.batch if args.batch else 1,
-        profile=args.profile,
-    )
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", DeprecationWarning)
+        # Inside the capture so explicit legacy-knob use is visible to
+        # --fail-on-deprecated, the CI gate for stale spellings.
+        spec = ScenarioSpec(
+            kind=args.scenario,
+            engine=_engine_from_args(args),
+            fastpath=True if args.fastpath else None,
+            batch_size=args.batch if args.batch else None,
+            profile=args.profile,
+        )
         run = spec.run()
         metrics = run.metrics()
     deprecated = [w for w in caught if issubclass(w.category, DeprecationWarning)]
@@ -522,8 +550,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     run = ScenarioSpec(
         kind=args.scenario,
         trace_packets=args.packets,
-        fastpath=args.fastpath,
-        batch_size=args.batch if args.batch else 1,
+        engine=_engine_from_args(args),
+        fastpath=True if args.fastpath else None,
+        batch_size=args.batch if args.batch else None,
     ).run()
     tracer = run.tracer
     if args.json:
@@ -551,6 +580,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             shards=args.shards,
             fault_plan=args.plan,
+            engine=_engine_from_args(args),
             fastpath=True if args.fastpath else None,
             batch_size=args.batch if args.batch else None,
         )
@@ -808,10 +838,17 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("plan", choices=sorted(NAMED_PLANS))
     chaos.add_argument("--seed", type=int, default=1)
     chaos.add_argument(
-        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="engine tier (reference|batched|compiled); replaces "
+        "--fastpath/--batch",
     )
     chaos.add_argument(
-        "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
+        "--fastpath", action="store_true", help="deprecated: use --engine"
+    )
+    chaos.add_argument(
+        "--batch", type=int, default=0, help="deprecated: use --engine"
     )
     chaos.add_argument(
         "--out",
@@ -875,10 +912,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="export format (--json forces json)",
     )
     metrics.add_argument(
-        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="engine tier (reference|batched|compiled); replaces "
+        "--fastpath/--batch",
     )
     metrics.add_argument(
-        "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
+        "--fastpath", action="store_true", help="deprecated: use --engine"
+    )
+    metrics.add_argument(
+        "--batch", type=int, default=0, help="deprecated: use --engine"
     )
     metrics.add_argument(
         "--profile",
@@ -905,10 +949,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--packets", type=int, default=4, help="number of packets to trace"
     )
     trace.add_argument(
-        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="engine tier (reference|batched|compiled); replaces "
+        "--fastpath/--batch",
     )
     trace.add_argument(
-        "--batch", type=int, default=0, help="PPE batch size (0 = unbatched)"
+        "--fastpath", action="store_true", help="deprecated: use --engine"
+    )
+    trace.add_argument(
+        "--batch", type=int, default=0, help="deprecated: use --engine"
     )
     trace.set_defaults(func=cmd_trace)
 
@@ -935,10 +986,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault plan for the chaos scenario (default: smoke)",
     )
     run.add_argument(
-        "--fastpath", action="store_true", help="enable the flow-cache fast path"
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="engine tier (reference|batched|compiled); replaces "
+        "--fastpath/--batch",
     )
     run.add_argument(
-        "--batch", type=int, default=0, help="PPE batch size (0 = env/unbatched)"
+        "--fastpath", action="store_true", help="deprecated: use --engine"
+    )
+    run.add_argument(
+        "--batch", type=int, default=0, help="deprecated: use --engine"
     )
     run.add_argument(
         "--start-method",
@@ -1008,7 +1066,7 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument(
         "--engines",
         default="reference",
-        help="comma-separated engine axis: reference,batched",
+        help="comma-separated engine axis: reference,batched,compiled",
     )
     matrix.add_argument(
         "--fastpath",

@@ -10,6 +10,8 @@ constructed instead of re-read scalar by scalar.
 Recognized variables:
 
 =========================  ====================================================
+``FLEXSFP_ENGINE``         engine tier default (``reference``/``batched``/
+                           ``compiled``); unset defers to the legacy knobs
 ``FLEXSFP_FASTPATH``       flow-cache fast path default (``1/true/on/yes``)
 ``FLEXSFP_BATCH``          PPE batch size default (integer ≥ 1)
 ``FLEXSFP_METRICS_DIR``    benchmark metrics-artifact export directory
@@ -38,8 +40,11 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Mapping
 
+from .engine import ENGINES
+
 _TRUE_WORDS = frozenset({"1", "true", "on", "yes"})
 
+ENV_ENGINE = "FLEXSFP_ENGINE"
 ENV_FASTPATH = "FLEXSFP_FASTPATH"
 ENV_BATCH = "FLEXSFP_BATCH"
 ENV_METRICS_DIR = "FLEXSFP_METRICS_DIR"
@@ -94,7 +99,9 @@ def parse_float(
 class Settings:
     """All environment-tunable defaults, resolved once per construction site.
 
-    ``fastpath`` / ``batch_size`` are the simulation-speed knobs a
+    ``engine`` names the default tier consumed by
+    :func:`repro.engine.resolve_engine`; ``fastpath`` / ``batch_size``
+    are the legacy simulation-speed knobs a
     :class:`~repro.core.module.FlexSFPModule` consults when its own
     constructor arguments are ``None``; ``metrics_dir`` is where
     benchmarks export registry dumps; ``workers`` / ``start_method``
@@ -103,6 +110,7 @@ class Settings:
     (deadline per shard, bounded retry, exponential backoff base).
     """
 
+    engine: str | None = None
     fastpath: bool = False
     batch_size: int = 1
     metrics_dir: Path | None = None
@@ -121,9 +129,11 @@ class Settings:
         metrics_dir = env.get(ENV_METRICS_DIR, "").strip()
         bench_dir = env.get(ENV_BENCH_DIR, "").strip()
         start = env.get(ENV_MP_START, "").strip().lower()
+        engine = env.get(ENV_ENGINE, "").strip().lower()
         workers = parse_int(env.get(ENV_WORKERS), 0, minimum=0)
         shard_timeout = parse_float(env.get(ENV_SHARD_TIMEOUT), 0.0, minimum=0.0)
         return cls(
+            engine=engine if engine in ENGINES else None,
             fastpath=parse_bool(env.get(ENV_FASTPATH)),
             batch_size=parse_int(env.get(ENV_BATCH), 1, minimum=1),
             metrics_dir=Path(metrics_dir) if metrics_dir else None,

@@ -43,6 +43,19 @@ class Arbiter:
         self.to_data.count(size)
         return "data"
 
+    def classify_bulk(self, packet: Packet, size: int, count: int) -> str:
+        """Classify a burst of ``count`` identical frames in one call.
+
+        Counter totals match ``count`` individual :meth:`classify` calls.
+        """
+        if is_mgmt_frame(packet):
+            self.to_cpu.packets += count
+            self.to_cpu.bytes += count * size
+            return "cpu"
+        self.to_data.packets += count
+        self.to_data.bytes += count * size
+        return "data"
+
     def merge_from_cpu(self, packet: Packet) -> Packet:
         """Account a control-plane response entering the egress stream."""
         self.from_cpu.count(packet.wire_len)

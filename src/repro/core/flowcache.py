@@ -122,6 +122,36 @@ class FlowRecipe:
                 counter.bytes += size
         return self.verdict
 
+    def apply_burst(
+        self, packet: "Packet", app: "PPEApplication", size: int, count: int
+    ) -> "Verdict":
+        """Replay onto one template standing for ``count`` identical frames.
+
+        The compiled engine's struct-of-arrays lane carries a burst of
+        same-flow, same-size frames as a single template packet; the
+        mutations land once on that template and the counter bumps are
+        fused into one ``+= count`` — arithmetically identical to
+        ``count`` calls of :meth:`apply` on per-frame copies.
+        """
+        for header_name, fields in self._grouped:
+            header = getattr(packet, header_name)
+            if header is None:  # pragma: no cover - key/recipe mismatch guard
+                raise ConfigError(
+                    f"recipe expects a {header_name} header the packet lacks"
+                )
+            for field, value in fields:
+                setattr(header, field, value)
+        if self.counters:
+            if app is not self._bound_app:
+                self._bound_app = app
+                self._bound_counters = tuple(
+                    app.counter(name) for name in self.counters
+                )
+            for counter in self._bound_counters:
+                counter.packets += count
+                counter.bytes += count * size
+        return self.verdict
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FlowRecipe({self.verdict}, mutations={self.mutations}, "

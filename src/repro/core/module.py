@@ -24,7 +24,8 @@ from __future__ import annotations
 from typing import Callable
 
 from .._util import mac_to_int, warn_deprecated
-from ..config import Settings, get_settings
+from ..config import Settings
+from ..engine import EngineConfig, resolve_engine
 from ..errors import BitstreamError, ConfigError, FlashError
 from ..fpga.bitstream import Bitstream
 from ..fpga.flash import SPIFlash
@@ -81,6 +82,17 @@ class FlexSFPModule:
     settings:
         A pre-resolved :class:`~repro.config.Settings`; ``None`` resolves
         the environment here, once, instead of knob by knob.
+    engine:
+        The typed engine selection — an :class:`~repro.engine.EngineConfig`
+        or a tier name (``reference`` / ``batched`` / ``compiled``).
+        Mutually exclusive with the legacy ``fastpath``/``batch_size``
+        knobs (passing both raises :class:`~repro.errors.ConfigError`);
+        when omitted the legacy knobs and environment resolve through
+        :func:`~repro.engine.resolve_engine` to the same tiers as before.
+        The ``compiled`` tier additionally lowers the verified pipeline
+        IR into a fused per-flow executor program
+        (:func:`repro.hls.compile_executor`) and opts the data ports into
+        the struct-of-arrays burst lane.
     """
 
     def __init__(
@@ -101,6 +113,7 @@ class FlexSFPModule:
         batch_size: int | None = None,
         flow_cache_entries: int = DEFAULT_FLOW_CACHE_ENTRIES,
         settings: Settings | None = None,
+        engine: "EngineConfig | str | None" = None,
     ) -> None:
         from ..hls.compiler import compile_app  # deferred: avoids import cycle
 
@@ -115,26 +128,42 @@ class FlexSFPModule:
         self.auth_key = auth_key
         self.deploy_key = deploy_key if deploy_key is not None else auth_key
 
-        if fastpath is None or batch_size is None:
-            settings = settings if settings is not None else get_settings()
-        self.fastpath = settings.fastpath if fastpath is None else fastpath
-        self.batch_size = settings.batch_size if batch_size is None else batch_size
+        if engine is not None and (fastpath is not None or batch_size is not None):
+            raise ConfigError(
+                "engine conflicts with the legacy fastpath/batch_size knobs; "
+                "pass one EngineConfig (or tier name) and let it carry the "
+                "options"
+            )
+        self.engine_config = resolve_engine(engine, fastpath, batch_size, settings)
+        self.fastpath = self.engine_config.fastpath
+        self.batch_size = self.engine_config.batch_size
         self.flow_cache = (
             FlowCache(flow_cache_entries, name=f"{name}.flow_cache")
             if self.fastpath
             else None
         )
+        self._flow_cache_entries = flow_cache_entries
 
-        self.build = (
-            build
-            if build is not None
-            else compile_app(
-                app,
-                shell,
-                device,
-                flow_cache_entries=flow_cache_entries if self.fastpath else None,
+        self.program = None
+        if self.engine_config.compiled:
+            from ..hls.executor import compile_executor  # deferred: cycle
+
+            executor = compile_executor(
+                app, shell, device=device, flow_cache_entries=flow_cache_entries
             )
-        )
+            self.program = executor.program
+            self.build = build if build is not None else executor.build
+        else:
+            self.build = (
+                build
+                if build is not None
+                else compile_app(
+                    app,
+                    shell,
+                    device,
+                    flow_cache_entries=flow_cache_entries if self.fastpath else None,
+                )
+            )
         self.flash = SPIFlash(slots=flash_slots)
         self.flash.store_bitstream(0, self.build.bitstream, allow_golden=True)
         self.flash.select_boot(0)
@@ -170,6 +199,11 @@ class FlexSFPModule:
             # Whole-flush ingress: one call per delivery batch.
             self.edge_port.attach_batch(self._on_edge_rx_batch)
             self.line_port.attach_batch(self._on_line_rx_batch)
+        if self.program is not None:
+            # Compiled tier: whole bursts arrive as one template + a
+            # struct-of-arrays vector of delivery times.
+            self.edge_port.attach_burst(self._on_edge_rx_burst)
+            self.line_port.attach_burst(self._on_line_rx_burst)
         self.mgmt_port: Port | None = None
         if shell.kind is ShellKind.ACTIVE_CORE:
             self.mgmt_port = Port(sim, f"{name}.mgmt", rate_bps=1e9)
@@ -185,6 +219,7 @@ class FlexSFPModule:
             device_id=device_id,
             batch_size=self.batch_size,
             flow_cache=self.flow_cache,
+            program=self.program,
         )
 
         # Optional packet tracer (duck-typed repro.obs.trace.Tracer), set
@@ -309,6 +344,106 @@ class FlexSFPModule:
                     when + (TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S),
                     size,
                 )
+
+    def _on_edge_rx_burst(
+        self, port: Port, template: Packet, size: int, whens
+    ) -> None:
+        self._ingress_burst(
+            template, size, whens, Direction.EDGE_TO_LINE, self.edge_port
+        )
+
+    def _on_line_rx_burst(
+        self, port: Port, template: Packet, size: int, whens
+    ) -> None:
+        self._ingress_burst(
+            template, size, whens, Direction.LINE_TO_EDGE, self.line_port
+        )
+
+    def _ingress_burst(
+        self,
+        template: Packet,
+        size: int,
+        whens,
+        direction: Direction,
+        reply_port: Port,
+    ) -> None:
+        """Compiled-tier ingress: one template + delivery-time vector.
+
+        Per-frame counters, timestamps and drop decisions are identical to
+        :meth:`_ingress_batch` over the expanded frames.  Paths with
+        per-frame side effects (tracing, management addressing, degraded
+        forwarding) deopt to exactly that expansion.
+        """
+        count = len(whens)
+        if self._down:
+            drops = self.downtime_drops
+            drops.packets += count
+            drops.bytes += count * size
+            return
+        if self._tracer is not None or self.degraded:
+            self._ingress_batch(
+                [
+                    (template.copy(), size, when)
+                    for when in whens.tolist()
+                ],
+                direction,
+                reply_port,
+            )
+            return
+        classified = self.arbiter.classify_bulk(template, size, count)
+        if classified != "data":
+            # A burst of management frames: replay per frame (the bulk
+            # classification already counted them — don't count twice).
+            done = (
+                self._done_edge_to_line
+                if direction is Direction.EDGE_TO_LINE
+                else self._done_line_to_edge
+            )
+            ppe = self.ppe
+            batched = ppe.batch_size > 1
+            for when in whens.tolist():
+                packet = template.copy()
+                addressing = self._mgmt_addressing(packet)
+                if addressing == "us":
+                    self._to_control_plane(packet, reply_port, when)
+                    continue
+                if addressing == "broadcast":
+                    self._to_control_plane(packet.copy(), reply_port, when)
+                packet.meta["flexsfp_ingress_ns"] = int(when * 1e9)
+                if self.shell.processes(direction):
+                    if batched:
+                        ppe._submit_batched(packet, size, direction, done, when)
+                    else:
+                        ppe.submit(packet, direction, done, at_s=when, size=size)
+                else:
+                    self._egress_port(direction).send_at(
+                        packet,
+                        when + (TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S),
+                        size,
+                    )
+            return
+        template.meta["flexsfp_ingress_ns"] = int(float(whens[0]) * 1e9)
+        if not self.shell.processes(direction):
+            # Unprocessed direction: vectorized pass-through at retimer
+            # latency (same scalar constant added per element).
+            self._egress_port(direction).send_burst(
+                template,
+                size,
+                whens + (TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S),
+            )
+            return
+        self.ppe.submit_burst(
+            template,
+            size,
+            direction,
+            whens,
+            self._burst_done_edge_to_line
+            if direction is Direction.EDGE_TO_LINE
+            else self._burst_done_line_to_edge,
+            self._done_edge_to_line
+            if direction is Direction.EDGE_TO_LINE
+            else self._done_line_to_edge,
+        )
 
     def _on_mgmt_rx(self, port: Port, packet: Packet) -> None:
         # The out-of-band management port carries only control traffic
@@ -446,6 +581,40 @@ class FlexSFPModule:
         emitted: list[tuple[Packet, Direction]],
     ) -> None:
         self._ppe_done(packet, verdict, emitted, Direction.LINE_TO_EDGE)
+
+    def _burst_done_edge_to_line(
+        self, packet: Packet, verdict: Verdict, size: int, deliver_s
+    ) -> None:
+        self._ppe_burst_done(packet, verdict, size, deliver_s, Direction.EDGE_TO_LINE)
+
+    def _burst_done_line_to_edge(
+        self, packet: Packet, verdict: Verdict, size: int, deliver_s
+    ) -> None:
+        self._ppe_burst_done(packet, verdict, size, deliver_s, Direction.LINE_TO_EDGE)
+
+    def _ppe_burst_done(
+        self,
+        packet: Packet,
+        verdict: Verdict,
+        size: int,
+        deliver_s,
+        direction: Direction,
+    ) -> None:
+        """Fused-slice completion: PASS egresses the whole slice as one burst.
+
+        Fused slices only ever complete with PASS or DROP (anything else
+        deopts inside the PPE), and the transceiver crossing is added with
+        the same scalar constant as the per-frame path.
+        """
+        if verdict is Verdict.PASS:
+            self._egress_port(direction).send_burst(
+                packet, size, deliver_s + TRANSCEIVER_LATENCY_S
+            )
+        else:  # DROP
+            count = len(deliver_s)
+            drops = self.verdict_drops
+            drops.packets += count
+            drops.bytes += count * size
 
     def _ppe_done(
         self,
@@ -591,6 +760,17 @@ class FlexSFPModule:
             # Recipes replay against the application instance; a reboot may
             # swap it, so every cached decision is stale.
             self.flow_cache.invalidate()
+        if self.program is not None:
+            # The compiled tier re-fuses against the booted application —
+            # recipes are compiled per app instance, like the flow cache.
+            from ..hls.executor import compile_executor  # deferred: cycle
+
+            self.program = compile_executor(
+                new_app,
+                self.shell,
+                device=self.device,
+                flow_cache_entries=self._flow_cache_entries,
+            ).program
         self.ppe = PacketProcessingEngine(
             self.sim,
             new_app,
@@ -598,6 +778,7 @@ class FlexSFPModule:
             device_id=self.device_id,
             batch_size=self.batch_size,
             flow_cache=self.flow_cache,
+            program=self.program,
         )
         # An attached tracer survives the engine swap.
         self.ppe.tracer = self._tracer

@@ -27,6 +27,18 @@ their results:
   at the batch boundary and *delivered* once per batch, so downstream
   egress times may shift by up to one batch window; single-frame batches
   are exactly the unbatched schedule.
+* **Compiled bursts** (``program`` + :meth:`PacketProcessingEngine.submit_burst`):
+  the compiled engine tier hands the engine whole same-flow bursts as one
+  template packet plus a struct-of-arrays vector of per-frame arrival
+  times.  Admission replays the batched reservation arithmetic (vectorised
+  where that stays bit-exact), and processing collapses each due slice
+  into one :meth:`~repro.core.flowcache.FlowRecipe.apply_burst` with O(1)
+  counter and histogram updates.  Anything the fused contract cannot
+  express — a tracer attached, per-frame arrivals interleaved, a flow the
+  application opts out of, a verdict beyond PASS/DROP, application
+  emissions — *deopts*: those frames materialize into the batched
+  per-frame lane and take the exact reference arithmetic, so compiled
+  results are bit-identical to the reference engine by construction.
 """
 
 from __future__ import annotations
@@ -36,13 +48,17 @@ from collections import deque
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Hashable
 
+import numpy as np
+
 from .._util import warn_deprecated
 from ..errors import SimulationError
 from ..fpga.timing import TimingSpec
 from ..packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - break the hls<->core import cycle
+    from ..hls.executor import CompiledProgram
     from ..hls.ir import PipelineSpec
+from ..sim.burst import bounded_admissions, chain_reservations
 from ..sim.engine import ServiceTimeline, Simulator
 from ..sim.stats import Counter, Histogram
 from .flowcache import FlowCache, FlowRecipe
@@ -167,6 +183,21 @@ class PPEApplication(ABC):
         """
         return None
 
+    def compiled_profile(self) -> dict:
+        """Fusion contract for the compiled engine tier.
+
+        ``fusible`` True declares that for every packet with a non-None
+        :meth:`flow_key`, :meth:`decide` is a pure read of the packet,
+        the traversal direction, and current table state — it never
+        consults the packet's arrival time, mutates tables, or emits —
+        so one decision may stand for a whole same-flow burst.
+        ``key_bits``/``rewrite_bits`` size the fused executor's hardware
+        (:func:`repro.fpga.estimator.fused_executor`).  The default opts
+        out: the compiled engine then deopts every burst to the exact
+        per-frame lane.
+        """
+        return {"fusible": False, "key_bits": 0, "rewrite_bits": 0}
+
     def config(self) -> dict:
         """Serializable constructor parameters (stored in bitstreams)."""
         return {}
@@ -177,9 +208,56 @@ class PPEApplication(ABC):
 
 DoneCallback = Callable[[Packet, Verdict, list[tuple[Packet, Direction]]], None]
 
+# Compiled-burst delivery: one call per fused slice with the mutated
+# template copy, the shared verdict and wire size, and the struct-of-arrays
+# vector of per-frame virtual deliver times.
+BurstDoneCallback = Callable[[Packet, Verdict, int, "np.ndarray"], None]
+
 # FIFO entry:
 # (packet, wire size, direction, done callback, enqueue ns, arrival seconds).
 _QueuedFrame = "tuple[Packet, int, Direction, DoneCallback, int, float]"
+
+
+class _PendingBurst:
+    """Struct-of-arrays record of one admitted compiled burst.
+
+    ``enqueue_ns``/``finish`` are per-admitted-frame arrays; ``pos`` marks
+    how far the drain has consumed the burst (finish times are
+    non-decreasing, so the due set is always a prefix).
+    """
+
+    __slots__ = (
+        "template",
+        "size",
+        "direction",
+        "key",
+        "done_burst",
+        "done_frame",
+        "enqueue_ns",
+        "finish",
+        "pos",
+    )
+
+    def __init__(
+        self,
+        template: Packet,
+        size: int,
+        direction: Direction,
+        key: Hashable,
+        done_burst: BurstDoneCallback,
+        done_frame: DoneCallback,
+        enqueue_ns: "np.ndarray",
+        finish: "np.ndarray",
+    ) -> None:
+        self.template = template
+        self.size = size
+        self.direction = direction
+        self.key = key
+        self.done_burst = done_burst
+        self.done_frame = done_frame
+        self.enqueue_ns = enqueue_ns
+        self.finish = finish
+        self.pos = 0
 
 
 class PacketProcessingEngine:
@@ -204,6 +282,7 @@ class PacketProcessingEngine:
         device_id: int = 0,
         batch_size: int = 1,
         flow_cache: FlowCache | None = None,
+        program: "CompiledProgram | None" = None,
     ) -> None:
         if batch_size < 1:
             raise SimulationError(f"batch size must be >= 1, got {batch_size}")
@@ -214,6 +293,16 @@ class PacketProcessingEngine:
         self.device_id = device_id
         self.batch_size = batch_size
         self.flow_cache = flow_cache
+        # Compiled tier: the verified executor program gating burst fusion
+        # (see repro.hls.executor), struct-of-arrays bursts pending
+        # processing, the armed drain event, and fusion statistics.
+        self.program = program
+        self._bursts: deque = deque()
+        self._burst_event = None
+        self._latency_bounds: "np.ndarray | None" = None
+        self.compiled_bursts = 0
+        self.compiled_frames = 0
+        self.compiled_deopts = 0
         self._fifo: deque = deque()
         self._fifo_bytes = 0
         self._busy = False
@@ -311,6 +400,11 @@ class PacketProcessingEngine:
         real event.  Processing is deferred to a group event re-armed at
         the newest frame's finish and closed at ``batch_size`` frames.
         """
+        if self._bursts:
+            # A per-frame submit while compiled bursts are pending: collapse
+            # the burst lane into the per-frame lane first so one
+            # finish-ordered queue drains both.
+            self._materialize_pending_bursts()
         # Inlined ServiceTimeline.drain/reserve (hot path): identical float
         # operation order, so reservations are bit-exact vs the helpers.
         timeline = self._timeline
@@ -453,6 +547,12 @@ class PacketProcessingEngine:
             # An application writing its own tables mid-processing fired
             # the drain hook reentrantly; the outer loop is the drain.
             return
+        if self._bursts:
+            # Compiled bursts and per-frame arrivals never coexist (either
+            # side materializes the other on contact), so the burst drain
+            # is a complete substitute here.
+            self._process_due_bursts()
+            return
         arrivals = self._arrivals
         now = self.sim.now
         if not arrivals or arrivals[0][5] > now:
@@ -529,6 +629,408 @@ class PacketProcessingEngine:
             latency_add(int(deliver_s * 1e9) - enqueue_ns)
             packet.meta["ppe_deliver_s"] = deliver_s
             done(packet, verdict, emitted)
+
+    # ------------------------------------------------------------------
+    # Compiled burst execution
+    # ------------------------------------------------------------------
+    def submit_burst(
+        self,
+        template: Packet,
+        size: int,
+        direction: Direction,
+        times: "np.ndarray",
+        done_burst: BurstDoneCallback,
+        done_frame: DoneCallback,
+    ) -> int:
+        """Offer a same-flow burst as one template plus arrival times.
+
+        The compiled engine's struct-of-arrays ingress: ``times`` is a
+        non-decreasing float64 array of virtual arrival seconds, one per
+        frame, every frame sharing ``template``'s headers and ``size``.
+        Admission replays the batched per-frame reservation arithmetic,
+        so tail drops and service times are bit-identical to submitting
+        each frame individually.  Returns the number of admitted frames.
+
+        Bursts the fused contract cannot express deopt at submit: with a
+        tracer attached, no fusible program, a flow the application opts
+        out of, or per-frame arrivals already pending, every frame
+        materializes through the per-frame lane with ``done_frame`` as
+        its completion callback.
+        """
+        key = None
+        program = self.program
+        if (
+            program is not None
+            and program.fusible
+            and self.flow_cache is not None
+            and self.tracer is None
+            and self.batch_size > 1
+            and not self._arrivals
+        ):
+            key = self.app.flow_key(template)
+        if key is None:
+            values = times.tolist() if hasattr(times, "tolist") else list(times)
+            self.compiled_deopts += len(values)
+            if self.batch_size <= 1:
+                admitted = 0
+                for at in values:
+                    if self.submit(
+                        template.copy(), direction, done_frame, at_s=at, size=size
+                    ):
+                        admitted += 1
+                return admitted
+            defer = self._defer_commit
+            self._defer_commit = True
+            admitted = 0
+            submit = self._submit_batched
+            for at in values:
+                if submit(template.copy(), size, direction, done_frame, at):
+                    admitted += 1
+            if not defer:
+                self._defer_commit = False
+                self.flush_end()
+            return admitted
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        admitted_at, finishes = self._admit_burst(times, size)
+        if len(finishes) == 0:
+            return 0
+        burst = _PendingBurst(
+            template,
+            size,
+            direction,
+            key,
+            done_burst,
+            done_frame,
+            (admitted_at * 1e9).astype(np.int64),
+            finishes,
+        )
+        self._bursts.append(burst)
+        self.compiled_bursts += 1
+        event = self._burst_event
+        if event is not None:
+            # One armed drain event at the newest burst's final finish
+            # covers every pending burst (finish order is global).
+            event.cancel()
+        last = float(finishes[-1])
+        now = self.sim.now
+        self._burst_event = self.sim.schedule_at(
+            last if last > now else now, self._burst_event_fired
+        )
+        return len(finishes)
+
+    def _admit_burst(
+        self, times: "np.ndarray", size: int
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Reserve service slots for a burst; returns admitted (at, finish).
+
+        Exactly :meth:`_submit_batched`'s admission — drain, tail-drop
+        check, ``start = max(arrival, free_at)`` — replayed per frame.
+        Two vectorised regimes cover the common cases bit-exactly: a
+        burst that fits the queue outright chains through
+        :func:`~repro.sim.burst.chain_reservations`, and a burst arriving
+        entirely while the server is busy (the oversubscribed steady
+        state) resolves its tail drops with the
+        :func:`~repro.sim.burst.bounded_admissions` scan.  Anything else
+        falls back to a Python loop replaying the exact per-frame
+        sequence.
+        """
+        timeline = self._timeline
+        reservations = timeline._pending
+        service = self._service_times.get(size)
+        if service is None:
+            service = self._service_times[size] = self.timing.frame_service_time(
+                size
+            )
+        n = len(times)
+        first = float(times[0])
+        pending_bytes = timeline.pending_bytes
+        # Amortized drain to the burst head: the state the per-frame loop
+        # would see at its first arrival (each reservation pops once ever).
+        while reservations and reservations[0][0] <= first:
+            pending_bytes -= reservations.popleft()[1]
+        timeline.pending_bytes = pending_bytes
+        if pending_bytes + n * size <= self.queue_bytes:
+            # Occupancy only shrinks as reservations mature, so a burst
+            # that fits on top of the undrained occupancy can never drop;
+            # matured entries are released by the next drain that needs
+            # them, leaving pending_bytes consistent with the deque.
+            chained = chain_reservations(times, service, timeline.free_at)
+            if chained is not None:
+                starts, finishes = chained
+                timeline.free_at = float(finishes[-1])
+                for start in starts.tolist():
+                    reservations.append((start, size))
+                timeline.pending_bytes += n * size
+                return times, finishes
+        free_at = timeline.free_at
+        last = float(times[-1])
+        if last < free_at:
+            # Saturated regime: every arrival lands while the server is
+            # busy, so every admitted start continues the free_at chain
+            # and no reservation made by this burst matures within it.
+            # Matured older reservations form a sorted prefix; per-frame
+            # headroom is then a non-decreasing cap sequence and the
+            # tail-drop scan has a closed form.
+            matured_starts: list[float] = []
+            matured_sizes: list[int] = []
+            while reservations and reservations[0][0] <= last:
+                entry = reservations.popleft()
+                matured_starts.append(entry[0])
+                matured_sizes.append(entry[1])
+            if matured_starts:
+                released = np.concatenate(
+                    ([0], np.add.accumulate(np.asarray(matured_sizes)))
+                )
+                freed = released[
+                    np.searchsorted(np.asarray(matured_starts), times, side="right")
+                ]
+                total_released = int(released[-1])
+            else:
+                freed = np.zeros(n, dtype=np.int64)
+                total_released = 0
+            caps = (self.queue_bytes - size - pending_bytes + freed) // size
+            cumulative = bounded_admissions(caps)
+            admitted_count = int(cumulative[-1])
+            drops = n - admitted_count
+            if drops:
+                overload = self.overload_drops
+                overload.packets += drops
+                overload.bytes += drops * size
+            timeline.pending_bytes = (
+                pending_bytes - total_released + admitted_count * size
+            )
+            if admitted_count == 0:
+                return times[:0], times[:0]
+            chain = np.empty(admitted_count + 1)
+            chain[0] = free_at
+            chain[1:] = service
+            chain = np.add.accumulate(chain)
+            for start in chain[:admitted_count].tolist():
+                reservations.append((start, size))
+            timeline.free_at = float(chain[admitted_count])
+            flags = np.diff(cumulative, prepend=0) == 1
+            return times[flags], chain[1:]
+        free_at = timeline.free_at
+        queue_bytes = self.queue_bytes
+        admitted: list[float] = []
+        finish_times: list[float] = []
+        admit_at = admitted.append
+        admit_finish = finish_times.append
+        drops = 0
+        for at in times.tolist():
+            while reservations and reservations[0][0] <= at:
+                pending_bytes -= reservations.popleft()[1]
+            if pending_bytes + size > queue_bytes:
+                drops += 1
+                continue
+            start = at if at > free_at else free_at
+            finish = start + service
+            free_at = finish
+            reservations.append((start, size))
+            pending_bytes += size
+            admit_at(at)
+            admit_finish(finish)
+        timeline.free_at = free_at
+        timeline.pending_bytes = pending_bytes
+        if drops:
+            overload = self.overload_drops
+            overload.packets += drops
+            overload.bytes += drops * size
+        return np.asarray(admitted), np.asarray(finish_times)
+
+    def _burst_event_fired(self) -> None:
+        self._burst_event = None
+        self._process_due()
+
+    def _process_due_bursts(self) -> None:
+        """Drain every burst frame whose virtual service has finished.
+
+        The burst analogue of :meth:`_process_due` — reached through the
+        same entry point, so batch events and the pre-mutation table hook
+        both land here.  Due frames form a prefix of each pending burst,
+        and each due slice collapses into one fused recipe application.
+        """
+        self._processing = True
+        try:
+            now = self.sim.now
+            self._timeline.drain(now)
+            bursts = self._bursts
+            while bursts:
+                burst = bursts[0]
+                finish = burst.finish
+                pos = burst.pos
+                end = int(np.searchsorted(finish, now, side="right"))
+                if end <= pos:
+                    break
+                self._fuse_slice(burst, pos, end)
+                if end < len(finish):
+                    burst.pos = end
+                    break
+                bursts.popleft()
+        finally:
+            self._processing = False
+
+    def _fuse_slice(self, burst: _PendingBurst, pos: int, end: int) -> None:
+        """Process one due slice with a single fused recipe application."""
+        count = end - pos
+        app = self.app
+        direction = burst.direction
+        size = burst.size
+        generation = app.tables.generation()
+        recipe = self.flow_cache.lookup((direction, burst.key), generation)
+        decided = 0
+        if recipe is None:
+            # Slow-path probe: one decide() stands for the whole slice.
+            # The fused contract (compiled_profile) guarantees decide is
+            # a pure read of (packet, direction, tables), so the slice
+            # head's context is representative of every frame.
+            ctx = PPEContext(
+                int(burst.finish[pos] * 1e9),
+                direction,
+                self.device_id,
+                (len(burst.finish) - pos - 1) * size,
+            )
+            recipe = app.decide(burst.template, ctx)
+            if recipe is None or ctx.emitted:
+                self._materialize_slice(burst, pos, end)
+                return
+            self.flow_cache.insert((direction, burst.key), recipe, generation)
+            decided = 1
+        verdict = recipe.verdict
+        if verdict is not Verdict.PASS and verdict is not Verdict.DROP:
+            # REFLECT / TO_CPU need per-frame downstream handling.
+            self._materialize_slice(burst, pos, end)
+            return
+        packet = burst.template.copy()
+        applied = recipe.apply_burst(packet, app, size, count)
+        hits = self.fastpath_hits
+        hits.packets += count - decided
+        hits.bytes += (count - decided) * size
+        processed = self.processed
+        processed.packets += count
+        processed.bytes += count * size
+        self.verdict_counts[applied] += count
+        self.compiled_frames += count
+        deliver_s = burst.finish[pos:end] + self.pipeline_latency_s
+        self.sim.schedule(
+            self.pipeline_latency_s,
+            self._deliver_burst,
+            burst.done_burst,
+            packet,
+            applied,
+            size,
+            deliver_s,
+            burst.enqueue_ns[pos:end],
+        )
+
+    def _materialize_slice(self, burst: _PendingBurst, pos: int, end: int) -> None:
+        """Deopt a due slice through the exact per-frame machinery."""
+        template = burst.template
+        size = burst.size
+        direction = burst.direction
+        done = burst.done_frame
+        finish = burst.finish
+        enqueue = burst.enqueue_ns
+        total = len(finish)
+        apply = self._apply_batched
+        pipeline_latency_s = self.pipeline_latency_s
+        deliveries: list = []
+        self.compiled_deopts += end - pos
+        for index in range(pos, end):
+            packet = template.copy()
+            enqueue_ns = int(enqueue[index])
+            packet.meta["ppe_enqueue_ns"] = enqueue_ns
+            finish_s = float(finish[index])
+            # Queue depth approximates to this burst's unprocessed tail;
+            # the fused contract keeps applications from reading it.
+            verdict, emitted = apply(
+                packet,
+                size,
+                direction,
+                int(finish_s * 1e9),
+                (total - index - 1) * size,
+            )
+            deliveries.append(
+                (packet, verdict, emitted, done, enqueue_ns,
+                 finish_s + pipeline_latency_s)
+            )
+        self.sim.schedule(pipeline_latency_s, self._deliver_batch, deliveries)
+
+    def _materialize_pending_bursts(self) -> None:
+        """Collapse the burst lane into the per-frame arrival queue.
+
+        Called when per-frame work interleaves with pending bursts (a
+        probe, an emitted frame, a traced packet): every unprocessed
+        burst frame becomes a regular reserved arrival so one
+        finish-ordered drain handles both.  Reservation state is
+        untouched — burst admission already reserved per frame.
+        """
+        bursts = self._bursts
+        self._bursts = deque()
+        event = self._burst_event
+        if event is not None:
+            event.cancel()
+            self._burst_event = None
+        event = self._group_event
+        if event is not None:
+            event.cancel()
+            self._group_event = None
+        arrivals = self._arrivals
+        group = self._group
+        added = 0
+        for burst in bursts:
+            template = burst.template
+            size = burst.size
+            direction = burst.direction
+            done = burst.done_frame
+            finish = burst.finish.tolist()
+            enqueue = burst.enqueue_ns.tolist()
+            for index in range(burst.pos, len(finish)):
+                packet = template.copy()
+                packet.meta["ppe_enqueue_ns"] = enqueue[index]
+                frame = (
+                    packet, size, direction, done, enqueue[index], finish[index]
+                )
+                arrivals.append(frame)
+                self._arrivals_bytes += size
+                group.append(frame)
+                added += 1
+        self.compiled_deopts += added
+        if group and not self._defer_commit:
+            finish_s = group[-1][5]
+            now = self.sim.now
+            self._group_event = self.sim.schedule_at(
+                finish_s if finish_s > now else now, self._process_due_event
+            )
+
+    def _deliver_burst(
+        self,
+        done_burst: BurstDoneCallback,
+        packet: Packet,
+        verdict: Verdict,
+        size: int,
+        deliver_s: "np.ndarray",
+        enqueue_ns: "np.ndarray",
+    ) -> None:
+        # One histogram update per fused slice: searchsorted(side="right")
+        # is bisect_right, so the bulk binning lands every latency in the
+        # bucket the per-frame add() would have chosen, and the int64
+        # cast truncates exactly like int().
+        bounds = self._latency_bounds
+        if bounds is None:
+            bounds = self._latency_bounds = np.asarray(self.latency_ns.bounds)
+        latencies = (deliver_s * 1e9).astype(np.int64) - enqueue_ns
+        histogram = self.latency_ns
+        counts = histogram.counts
+        binned = np.bincount(
+            np.searchsorted(bounds, latencies, side="right"),
+            minlength=len(counts),
+        )
+        for index, bucket in enumerate(binned.tolist()):
+            if bucket:
+                counts[index] += bucket
+        histogram.total += len(latencies)
+        done_burst(packet, verdict, size, deliver_s)
 
     # ------------------------------------------------------------------
     # Functional application (fast path + slow path)
@@ -721,6 +1223,13 @@ class PacketProcessingEngine:
             stats["fastpath_hits"] = self.fastpath_hits.snapshot()
         if self.batch_size > 1:
             stats["batch_size"] = self.batch_size
+        if self.program is not None:
+            stats["compiled"] = {
+                "bursts": self.compiled_bursts,
+                "recipe_frames": self.compiled_frames,
+                "deopt_frames": self.compiled_deopts,
+                "compile_wall_s": self.program.compile_wall_s,
+            }
         return stats
 
     def stats(self) -> dict[str, object]:
@@ -755,5 +1264,12 @@ class PacketProcessingEngine:
                 values[f"{prefix}.flow_cache.{key}"] = value
             for key, value in self.fastpath_hits.metric_values().items():
                 values[f"{prefix}.fastpath_hits.{key}"] = value
+        if self.program is not None:
+            # Wall-clock compile time stays snapshot-only: metric values
+            # must be identical across regenerations for golden
+            # byte-identity.
+            values[f"{prefix}.compiled.bursts"] = self.compiled_bursts
+            values[f"{prefix}.compiled.recipe_frames"] = self.compiled_frames
+            values[f"{prefix}.compiled.deopt_frames"] = self.compiled_deopts
         values[f"{prefix}.batch_size"] = self.batch_size
         return values

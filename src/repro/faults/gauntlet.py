@@ -18,6 +18,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+from ..engine import EngineConfig
 from ..errors import ConfigError
 from ..fleet import FleetController
 from ..netem import CbrSource, LossyWire
@@ -196,6 +197,7 @@ def run_gauntlet(
     probe_interval_s: float = PROBE_INTERVAL_S,
     fastpath: bool | None = None,
     batch_size: int | None = None,
+    engine: "EngineConfig | str | None" = None,
     registry=None,
     tracer=None,
 ) -> GauntletResult:
@@ -245,6 +247,7 @@ def run_gauntlet(
         auth_key=KEY,
         fastpath=fastpath,
         batch_size=batch_size,
+        engine=engine,
     )
     module = retrofit.module_at(1)
 

@@ -8,6 +8,7 @@ from .compiler import (
     price_pipeline,
     price_stage,
 )
+from .executor import CompiledProgram, ExecutorBuild, compile_executor
 from .ir import CHAIN_STAGE_KINDS, PipelineSpec, Stage, StageKind
 from .passes import (
     ALL_PASSES,
@@ -32,6 +33,8 @@ __all__ = [
     "ALL_PASSES",
     "BuildResult",
     "CHAIN_STAGE_KINDS",
+    "CompiledProgram",
+    "ExecutorBuild",
     "FIELD_BITS",
     "HEADER_BYTES",
     "OptimizationReport",
@@ -46,6 +49,7 @@ __all__ = [
     "XdpVerdict",
     "coalesce_fifos",
     "compile_app",
+    "compile_executor",
     "compile_pipeline",
     "eliminate_dead_stages",
     "fuse_actions",

@@ -1,0 +1,145 @@
+"""Compile backend: lower verified pipeline IR into fused per-flow executors.
+
+The reference and batched engine tiers interpret an application per frame.
+The *compiled* tier instead asks this backend for a
+:class:`CompiledProgram`: a precomputed description of the application's
+per-flow mutation recipes that the
+:class:`~repro.core.ppe.PacketProcessingEngine` burst lane uses to process
+whole same-flow bursts with a handful of Python-level operations.
+
+The gate is the same static verifier the bitstream flow uses —
+:func:`compile_executor` delegates to :func:`repro.hls.compiler.compile_app`,
+so a program only ever exists for IR the :mod:`repro.analysis` verifier
+accepted; error findings raise :class:`~repro.errors.CompileError` before
+any recipe could run.  The fused datapath is priced with the same
+synthesis cost model as every other stage
+(:func:`repro.fpga.estimator.fused_executor`), sized by the application's
+:meth:`~repro.core.ppe.PPEApplication.compiled_profile` declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from ..core.flowcache import DEFAULT_FLOW_CACHE_ENTRIES
+from ..core.shells import ShellSpec
+from ..fpga.estimator import fused_executor
+from ..fpga.resources import FPGADevice, MPF200T, ResourceVector
+from .compiler import BuildResult, compile_app
+
+# Fallback flow-key width when a fusible application declares none:
+# an IPv4 five-tuple (32 + 32 + 16 + 16 + 8 bits).
+_DEFAULT_KEY_BITS = 104
+
+
+@dataclass
+class CompiledProgram:
+    """A verified, fused per-flow executor for one application.
+
+    ``fusible`` mirrors the application's
+    :meth:`~repro.core.ppe.PPEApplication.compiled_profile` contract: when
+    False the engine still accepts bursts but deopts every frame to the
+    exact per-frame lane.  ``compile_wall_s`` is the real (wall-clock)
+    time the lowering took — observability data only, never simulated
+    state, and deliberately kept out of the metric namespace so golden
+    artifacts stay byte-identical across regenerations.
+    """
+
+    app_name: str
+    fusible: bool
+    key_bits: int
+    rewrite_bits: int
+    flow_cache_entries: int
+    resources: ResourceVector
+    compile_wall_s: float
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict[str, object]:
+        """Serializable one-glance description (CLI / artifact use)."""
+        return {
+            "app": self.app_name,
+            "fusible": self.fusible,
+            "key_bits": self.key_bits,
+            "rewrite_bits": self.rewrite_bits,
+            "flow_cache_entries": self.flow_cache_entries,
+            "compile_wall_s": round(self.compile_wall_s, 6),
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class ExecutorBuild:
+    """:func:`compile_executor`'s result: the program plus the shell build."""
+
+    program: CompiledProgram
+    build: BuildResult
+
+
+def compile_executor(
+    app,
+    shell: ShellSpec,
+    device: FPGADevice = MPF200T,
+    clock_hz: float | None = None,
+    flow_cache_entries: int = DEFAULT_FLOW_CACHE_ENTRIES,
+    strict: bool = True,
+    verify: bool = True,
+) -> ExecutorBuild:
+    """Lower ``app`` into a fused per-flow executor for the compiled tier.
+
+    Runs the full verified build first (:func:`compile_app` — IR verifier
+    plus the AST analyzer), so the compiled tier's accepted set is exactly
+    the verifier's accepted set: any application that raises here raises
+    identically from the bitstream flow, and vice versa.  The fused
+    recipe datapath is then priced from the application's
+    :meth:`~repro.core.ppe.PPEApplication.compiled_profile` and folded
+    into the synthesis report as one more component.
+    """
+    start = perf_counter()  # flexsfp: allow(det-wallclock)
+    result = compile_app(
+        app,
+        shell,
+        device=device,
+        clock_hz=clock_hz,
+        strict=strict,
+        flow_cache_entries=flow_cache_entries,
+        verify=verify,
+    )
+    profile_fn = getattr(app, "compiled_profile", None)
+    profile: dict = profile_fn() if callable(profile_fn) else {}
+    fusible = bool(profile.get("fusible"))
+    key_bits = int(profile.get("key_bits") or _DEFAULT_KEY_BITS)
+    rewrite_bits = int(profile.get("rewrite_bits") or 0)
+    notes: list[str] = []
+    if fusible:
+        resources = fused_executor(
+            flow_cache_entries, key_bits=key_bits, rewrite_bits=rewrite_bits
+        )
+        report = result.report
+        report.components["fused executor"] = resources
+        report.total = report.total + resources
+        report.fits = device.fits(report.total)
+        if not report.fits:
+            notes.append(
+                "fused executor overflows the device: "
+                + "; ".join(device.overflow_report(report.total))
+            )
+        report.notes.extend(notes)
+    else:
+        resources = ResourceVector()
+        notes.append(
+            f"executor: {getattr(app, 'name', type(app).__name__)!r} opts "
+            "out of burst fusion; compiled bursts deopt to the per-frame lane"
+        )
+    wall = perf_counter() - start  # flexsfp: allow(det-wallclock)
+    program = CompiledProgram(
+        app_name=getattr(app, "name", type(app).__name__),
+        fusible=fusible,
+        key_bits=key_bits,
+        rewrite_bits=rewrite_bits,
+        flow_cache_entries=flow_cache_entries,
+        resources=resources,
+        compile_wall_s=wall,
+        notes=notes,
+    )
+    return ExecutorBuild(program=program, build=result)

@@ -30,6 +30,7 @@ from ..artifact import (
     engine_batch_size,
     engine_name,
 )
+from ..engine import ENGINE_COMPILED
 from ..errors import ConfigError
 from ..obs.export import SCHEMA_MATRIX, json_document
 from ..obs.scenario import ScenarioSpec
@@ -88,9 +89,12 @@ class MatrixAxes:
 
         The first yielded cell is the default baseline, so axis ordering
         is part of the contract: engines vary slowest, fault plans
-        fastest.
+        fastest.  The ``compiled`` engine *is* the fused fastpath, so a
+        ``fastpath`` axis collapses on it — compiled cells always run
+        fastpath-on and the resulting duplicates are emitted once.
         """
         self.validate()
+        seen: set[CellConfig] = set()
         for engine, fastpath, shards, workers, device, plan in itertools.product(
             self.engines,
             self.fastpath,
@@ -99,7 +103,9 @@ class MatrixAxes:
             self.devices,
             self.fault_plans,
         ):
-            yield CellConfig(
+            if engine == ENGINE_COMPILED:
+                fastpath = True
+            config = CellConfig(
                 engine=engine,
                 fastpath=fastpath,
                 shards=shards,
@@ -108,6 +114,10 @@ class MatrixAxes:
                 fault_plan=plan,
                 batch_size=engine_batch_size(engine, self.batched_size),
             )
+            if config in seen:
+                continue
+            seen.add(config)
+            yield config
 
 
 @dataclass(frozen=True)
@@ -139,6 +149,7 @@ class CellConfig:
     def apply(self, base: ScenarioSpec) -> ScenarioSpec:
         """The cell's concrete spec: base spec with this cell's knobs."""
         changes: dict[str, object] = {
+            "engine": self.engine,
             "fastpath": self.fastpath,
             "batch_size": self.batch_size,
             "shards": self.shards,

@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..packet import Packet, make_udp
 from ..sim.engine import Simulator
@@ -132,7 +134,16 @@ class TrafficSource:
 
 
 class CbrSource(TrafficSource):
-    """Constant bit rate: fixed frame size, fixed inter-departure time."""
+    """Constant bit rate: fixed frame size, fixed inter-departure time.
+
+    With ``template_burst=True`` (the compiled engine's emission mode) each
+    tick builds ONE template packet and hands the whole burst to
+    :meth:`~repro.sim.link.Port.send_burst` as a struct-of-arrays vector
+    of departure times.  Departure timestamps come from the same chained
+    float additions as the per-frame tick, so timing is bit-identical;
+    the factory is called once per burst, so this mode requires a factory
+    whose output does not depend on the packet index.
+    """
 
     def __init__(
         self,
@@ -140,19 +151,67 @@ class CbrSource(TrafficSource):
         port: Port,
         rate_bps: float,
         frame_len: int = 1514,
+        template_burst: bool = False,
         **kwargs,
     ) -> None:
         if rate_bps <= 0:
             raise ConfigError("CBR rate must be positive")
         self.rate_bps = rate_bps
         self.frame_len = frame_len
+        self.template_burst = template_burst
         super().__init__(sim, port, **kwargs)
+        if template_burst and not port.coalesce:
+            raise ConfigError("template_burst requires a coalescing port")
 
     def _next_frame_len(self) -> int:
         return self.frame_len
 
     def _interval_for(self, frame_len: int) -> float:
         return frame_wire_bytes(frame_len) * 8 / self.rate_bps
+
+    def _tick(self) -> None:
+        if not self.template_burst:
+            super()._tick()
+            return
+        t = self.sim.now
+        if self.stop is not None and t >= self.stop:
+            return
+        n = self.burst
+        if self.count is not None:
+            remaining = self.count - self._index
+            if remaining <= 0:
+                return
+            if remaining < n:
+                n = remaining
+        interval = self._interval_for(self.frame_len)
+        # np.add.accumulate is a sequential left fold: entry i reproduces
+        # the scalar ``t = t + interval`` chain bit for bit.  The extra
+        # trailing entry is the next tick time.
+        chain = np.empty(n + 1)
+        chain[0] = t
+        chain[1:] = interval
+        times = np.add.accumulate(chain)
+        limit = n
+        if self.stop is not None and float(times[n - 1]) >= self.stop:
+            limit = int(np.searchsorted(times[:n], self.stop, side="left"))
+            if limit == 0:
+                return
+        template = self.factory(self._index, self.frame_len)
+        size = template.wire_len
+        self._index += limit
+        admitted = self.port.send_burst(template, size, times[:limit])
+        self.sent.packets += admitted
+        self.sent.bytes += admitted * size
+        failed = limit - admitted
+        if failed:
+            self.send_failures.packets += failed
+            self.send_failures.bytes += failed * size
+        # The per-frame tick only re-arms after a full burst; a count- or
+        # stop-truncated burst is the final one.
+        if limit == self.burst and (
+            self.count is None or self._index < self.count
+        ):
+            self.sim.schedule_at(float(times[n]), self._tick)
 
 
 class PoissonSource(TrafficSource):

@@ -33,6 +33,7 @@ from .._util import warn_deprecated
 from ..apps import StaticNat, create_app
 from ..config import Settings, get_settings
 from ..core.module import FlexSFPModule
+from ..engine import ENGINES, EngineConfig, resolve_engine
 from ..errors import ConfigError
 from ..fpga import get_device
 from ..netem import CbrSource
@@ -81,11 +82,15 @@ _KIND_TRAFFIC: dict[str, TrafficProfile] = {
 class ScenarioSpec:
     """A complete, typed description of one simulated workload.
 
-    ``fastpath`` / ``batch_size`` left as ``None`` resolve from
-    :class:`~repro.config.Settings` (the ``FLEXSFP_FASTPATH`` /
-    ``FLEXSFP_BATCH`` environment knobs) exactly once, in
-    :meth:`resolved` — a sharded run resolves in the parent so every
-    worker executes the same knobs regardless of its own environment.
+    ``engine`` names the execution tier (``reference`` / ``batched`` /
+    ``compiled``); ``fastpath`` / ``batch_size`` are its options.  Any of
+    the three left as ``None`` resolves from :class:`~repro.config.Settings`
+    (the ``FLEXSFP_ENGINE`` / ``FLEXSFP_FASTPATH`` / ``FLEXSFP_BATCH``
+    environment knobs) exactly once, in :meth:`resolved` — a sharded run
+    resolves in the parent so every worker executes the same knobs
+    regardless of its own environment.  A resolved spec carries the full
+    :class:`~repro.engine.EngineConfig` field set; :meth:`engine_config`
+    returns it as one typed value.
 
     ``seed`` is the *root* seed: shard ``i`` of a sharded run derives its
     own seed from it (see :func:`repro.parallel.derive_shard_seed`), so
@@ -100,6 +105,7 @@ class ScenarioSpec:
     seed: int = 1
     fastpath: bool | None = None
     batch_size: int | None = None
+    engine: str | None = None
     trace_packets: int | None = None
     profile: bool = False
     shards: int = 1
@@ -117,6 +123,10 @@ class ScenarioSpec:
             raise ConfigError(f"shards must be >= 1: {self.shards}")
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; known: {list(ENGINES)}"
+            )
         if self.trace_packets is not None and self.trace_packets < 0:
             raise ConfigError(
                 f"trace_packets must be >= 0: {self.trace_packets}"
@@ -138,13 +148,24 @@ class ScenarioSpec:
         changes: dict[str, object] = {}
         if self.traffic is None:
             changes["traffic"] = _KIND_TRAFFIC[self.kind]
-        if self.fastpath is None:
-            changes["fastpath"] = settings.fastpath
-        if self.batch_size is None:
-            changes["batch_size"] = settings.batch_size
+        config = resolve_engine(
+            self.engine, self.fastpath, self.batch_size, settings=settings
+        )
+        if self.engine != config.tier:
+            changes["engine"] = config.tier
+        if self.fastpath != config.fastpath:
+            changes["fastpath"] = config.fastpath
+        if self.batch_size != config.batch_size:
+            changes["batch_size"] = config.batch_size
         if self.kind == "chaos" and self.fault_plan is None:
             changes["fault_plan"] = "smoke"
         return replace(self, **changes) if changes else self
+
+    def engine_config(self, settings: Settings | None = None) -> EngineConfig:
+        """The spec's engine selection as one typed, validated value."""
+        return resolve_engine(
+            self.engine, self.fastpath, self.batch_size, settings=settings
+        )
 
     def with_shard(self, index: int, seed: int) -> "ScenarioSpec":
         """The spec for one shard: its derived seed, shard-count 1."""
@@ -281,7 +302,8 @@ def _build_nat(spec: ScenarioSpec, module_count: int) -> ScenarioRun:
     registry.register_value("sim.events", lambda: sim.events_processed)
 
     device = get_device(spec.device)
-    batch_size = spec.batch_size
+    config = spec.engine_config()
+    batch_size = config.batch_size
     modules: list[FlexSFPModule] = []
     previous_port: Port | None = None
     for index in range(module_count):
@@ -292,8 +314,7 @@ def _build_nat(spec: ScenarioSpec, module_count: int) -> ScenarioRun:
             device=device,
             auth_key=SCENARIO_KEY,
             device_id=index,
-            fastpath=spec.fastpath,
-            batch_size=batch_size,
+            engine=config,
         )
         module.register_metrics(registry)
         if tracer is not None:
@@ -329,6 +350,9 @@ def _build_nat(spec: ScenarioSpec, module_count: int) -> ScenarioRun:
         stop=traffic.duration_s,
         factory=lambda index, size: template.copy(),
         burst=batch_size if batch_size > 1 else 1,
+        # The compiled tier moves whole bursts as template + time vector;
+        # the factory above is index-independent, as that mode requires.
+        template_burst=config.compiled,
     )
     sim.run(until=traffic.duration_s + 0.1e-3)
     summary = {
@@ -365,8 +389,7 @@ def _build_chaos(spec: ScenarioSpec) -> ScenarioRun:
         duration_s=traffic.duration_s,
         traffic_bps=traffic.rate_bps,
         frame_len=traffic.frame_len,
-        fastpath=spec.fastpath,
-        batch_size=spec.batch_size,
+        engine=spec.engine_config(),
         registry=registry,
         tracer=tracer,
     )
@@ -418,8 +441,7 @@ def _build_fleet_upgrade(spec: ScenarioSpec) -> ScenarioRun:
         switch,
         plan,
         auth_key=SCENARIO_KEY,
-        fastpath=spec.fastpath,
-        batch_size=spec.batch_size,
+        engine=spec.engine_config(),
     )
     retrofit.register_metrics(registry)
     registry.register("switch", switch)

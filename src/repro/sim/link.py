@@ -12,8 +12,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..packet import Packet
+from .burst import chain_reservations
 from .engine import ServiceTimeline, Simulator
 from .mac import serialization_time
 from .stats import Counter
@@ -21,6 +24,9 @@ from .stats import Counter
 PacketHandler = Callable[["Port", Packet], None]
 # Batched receive: one call per delivery flush with [(packet, size, when)].
 BatchHandler = Callable[["Port", "list[tuple[Packet, int, float]]"], None]
+# Compiled-burst receive: one call per burst with the shared template, the
+# wire size, and the struct-of-arrays vector of delivery times.
+BurstHandler = Callable[["Port", Packet, int, "np.ndarray"], None]
 
 # Default propagation: 10 m of fiber at ~5 ns/m.
 DEFAULT_PROPAGATION_S = 50e-9
@@ -79,6 +85,12 @@ class Port:
         self.rx_flush_begin: Callable[[], None] | None = None
         self.rx_flush_end: Callable[[], None] | None = None
         self._batch_handler: BatchHandler | None = None
+        self._burst_handler: BurstHandler | None = None
+        # Compiled bursts pending delivery: (template, size, whens).  Never
+        # non-empty at the same time as _pending_rx — mixing materializes
+        # the bursts into per-frame entries first (see send_burst).
+        self._pending_bursts: list[tuple[Packet, int, np.ndarray]] = []
+        self._burst_flush_event = None
         self._peer: Port | None = None
         self._propagation_s = DEFAULT_PROPAGATION_S
         self._handler: PacketHandler | None = None
@@ -108,6 +120,18 @@ class Port:
         attach both.
         """
         self._batch_handler = handler
+
+    def attach_burst(self, handler: BurstHandler) -> None:
+        """Register a compiled-burst receive callback.
+
+        When set, a sender's burst flush hands each pending burst over in
+        one call — ``handler(port, template, size, whens)`` — where
+        ``whens`` is the float64 vector of exact (virtual) delivery times.
+        The template is shared, not copied: the receiver must not mutate
+        it.  Frames sent individually still take the batch/per-frame
+        paths, so owners should attach all applicable handlers.
+        """
+        self._burst_handler = handler
 
     def connect(self, peer: "Port", propagation_s: float = DEFAULT_PROPAGATION_S) -> None:
         """Create a full-duplex link between this port and ``peer``."""
@@ -255,6 +279,11 @@ class Port:
             # Batch-aware receiver: fold this frame into one flush event
             # per producing burst.  Batch handlers get the delivery time
             # as data; per-frame handlers read the meta stamp.
+            if self._pending_bursts:
+                # Per-frame traffic mixing with pending compiled bursts:
+                # materialize the bursts first so one flush run preserves
+                # global delivery order (burst whens precede this frame's).
+                self._materialize_pending_bursts()
             if peer._batch_handler is None:
                 packet.meta["link_deliver_s"] = when
             pending = self._pending_rx
@@ -279,6 +308,215 @@ class Port:
         peer = self._peer
         if peer is not None:
             peer._deliver(packet, size)
+
+    # ------------------------------------------------------------------
+    # Compiled burst transmit (struct-of-arrays lane)
+    # ------------------------------------------------------------------
+    def send_burst(
+        self, template: Packet, size: int, times: "np.ndarray"
+    ) -> int:
+        """Transmit a burst of identical frames at the given arrival times.
+
+        ``template`` is the shared frame (never copied on the fused path),
+        ``size`` its wire length and ``times`` a non-decreasing float64
+        vector of virtual arrival times.  Admission, serialization and
+        delivery timestamps are bit-identical to calling :meth:`send_at`
+        once per frame; the whole burst costs a handful of Python-level
+        operations instead.  Returns the number of admitted frames.
+        """
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        n = len(times)
+        if n == 0:
+            return 0
+        if self._peer is None:
+            self.drops.packets += n
+            self.drops.bytes += n * size
+            return 0
+        if not self.coalesce:
+            # Event-per-frame port: replay as individual sends.
+            for at in times.tolist():
+                self.send_at(template.copy(), at, size)
+            return n
+        timeline = self._timeline
+        reservations = timeline._pending
+        # Same framing arithmetic and float-op order as _reserve_tx.
+        framed = size + 4
+        if framed < 64:
+            framed = 64
+        service = (framed + 20) * 8 / self.rate_bps
+        whens = None
+        # Amortized drain to the burst head — the state _reserve_tx would
+        # see at the first arrival (each reservation pops once ever).
+        first = float(times[0])
+        pending_bytes = timeline.pending_bytes
+        while reservations and reservations[0][0] <= first:
+            pending_bytes -= reservations.popleft()[1]
+        timeline.pending_bytes = pending_bytes
+        if timeline.pending_bytes + n * size <= self.queue_bytes:
+            # Conservative no-drop precheck (occupancy only shrinks as the
+            # timeline drains), so admission cannot tail-drop: chain the
+            # reservations vectorially.
+            chained = chain_reservations(times, service, timeline.free_at)
+            if chained is not None:
+                starts, finishes = chained
+                timeline.free_at = float(finishes[-1])
+                for start in starts.tolist():
+                    reservations.append((start, size))
+                timeline.pending_bytes += n * size
+                whens = finishes + self._propagation_s
+        if whens is None:
+            # Exact scalar replay of _reserve_tx per frame.
+            pending_bytes = timeline.pending_bytes
+            free_at = timeline.free_at
+            queue_bytes = self.queue_bytes
+            admitted: list[float] = []
+            admit = admitted.append
+            dropped = 0
+            for at in times.tolist():
+                while reservations and reservations[0][0] <= at:
+                    pending_bytes -= reservations.popleft()[1]
+                if pending_bytes + size > queue_bytes:
+                    dropped += 1
+                    continue
+                start = at if at > free_at else free_at
+                finish = start + service
+                free_at = finish
+                reservations.append((start, size))
+                pending_bytes += size
+                admit(finish + self._propagation_s)
+            timeline.free_at = free_at
+            timeline.pending_bytes = pending_bytes
+            if dropped:
+                self.drops.packets += dropped
+                self.drops.bytes += dropped * size
+            if not admitted:
+                return 0
+            whens = np.asarray(admitted)
+        count = len(whens)
+        peer = self._peer
+        now = self.sim.now
+        if not peer.batch_rx:
+            # Per-frame receiver: replay the coalesced deliver events.
+            for when in whens.tolist():
+                self.sim.schedule_at(
+                    when if when > now else now,
+                    self._coalesced_deliver,
+                    template.copy(),
+                )
+            return count
+        if self._pending_rx:
+            # Per-frame frames already pending: keep one flush run by
+            # materializing this burst into the same pending list.
+            stamp = peer._batch_handler is None
+            pending = self._pending_rx
+            for when in whens.tolist():
+                packet = template.copy()
+                if stamp:
+                    packet.meta["link_deliver_s"] = when
+                pending.append((packet, size, when))
+            return count
+        pending_bursts = self._pending_bursts
+        pending_bursts.append((template, size, whens))
+        if self._burst_flush_event is None:
+            first = float(whens[0])
+            self._burst_flush_event = self.sim.schedule_at(
+                first if first > now else now, self._flush_rx_bursts
+            )
+        return count
+
+    def _materialize_pending_bursts(self) -> None:
+        """Deopt pending bursts into the per-frame pending-rx lane."""
+        event = self._burst_flush_event
+        if event is not None:
+            event.cancel()
+            self._burst_flush_event = None
+        bursts = self._pending_bursts
+        self._pending_bursts = []
+        pending = self._pending_rx
+        was_empty = not pending
+        peer = self._peer
+        stamp = peer is None or peer._batch_handler is None
+        for template, size, whens in bursts:
+            for when in whens.tolist():
+                packet = template.copy()
+                if stamp:
+                    packet.meta["link_deliver_s"] = when
+                pending.append((packet, size, when))
+        if pending and was_empty:
+            first = pending[0][2]
+            now = self.sim.now
+            self.sim.schedule_at(
+                first if first > now else now, self._flush_rx
+            )
+
+    def _flush_rx_bursts(self) -> None:
+        self._burst_flush_event = None
+        bursts = self._pending_bursts
+        self._pending_bursts = []
+        horizon = self.sim.horizon
+        if bursts and float(bursts[-1][2][-1]) > horizon:
+            # Frames due beyond the run window stay pending, exactly like
+            # _flush_rx: split each burst at the horizon and re-arm.
+            flushed: list[tuple[Packet, int, np.ndarray]] = []
+            kept: list[tuple[Packet, int, np.ndarray]] = []
+            for template, size, whens in bursts:
+                split = int(np.searchsorted(whens, horizon, side="right"))
+                if split == len(whens):
+                    flushed.append((template, size, whens))
+                    continue
+                if split:
+                    flushed.append((template, size, whens[:split]))
+                kept.append((template, size, whens[split:]))
+            bursts = flushed
+            if kept:
+                self._pending_bursts = kept
+                self._burst_flush_event = self.sim.schedule_at(
+                    float(kept[0][2][0]), self._flush_rx_bursts
+                )
+        if not bursts:
+            return
+        peer = self._peer
+        tx = self.tx
+        if peer is None:
+            for _template, size, whens in bursts:
+                tx.packets += len(whens)
+                tx.bytes += len(whens) * size
+            return
+        begin = peer.rx_flush_begin
+        if begin is not None:
+            begin()
+        burst_handler = peer._burst_handler
+        batch_handler = peer._batch_handler
+        handler = peer._handler
+        frames = 0
+        total_bytes = 0
+        for template, size, whens in bursts:
+            count = len(whens)
+            frames += count
+            total_bytes += count * size
+            if burst_handler is not None:
+                burst_handler(peer, template, size, whens)
+            elif batch_handler is not None:
+                batch_handler(
+                    peer,
+                    [
+                        (template.copy(), size, when)
+                        for when in whens.tolist()
+                    ],
+                )
+            elif handler is not None:
+                for when in whens.tolist():
+                    packet = template.copy()
+                    packet.meta["link_deliver_s"] = when
+                    handler(peer, packet)
+        tx.packets += frames
+        tx.bytes += total_bytes
+        rx = peer.rx
+        rx.packets += frames
+        rx.bytes += total_bytes
+        end = peer.rx_flush_end
+        if end is not None:
+            end()
 
     def _flush_rx(self) -> None:
         pending = self._pending_rx

@@ -14,6 +14,7 @@ from .._util import warn_deprecated
 from ..apps import create_app
 from ..core.module import FlexSFPModule
 from ..core.shells import ShellKind, ShellSpec
+from ..engine import EngineConfig
 from ..errors import ConfigError
 from ..sim.engine import Simulator
 from .legacy import LegacySwitch
@@ -82,14 +83,17 @@ def apply_retrofit(
     auth_key: bytes = b"flexsfp-mgmt-key",
     fastpath: bool | None = None,
     batch_size: int | None = None,
+    engine: "EngineConfig | str | None" = None,
 ) -> RetrofitResult:
     """Build and seat one FlexSFP per planned port.
 
     Ports must not have external cables connected yet (modules go into the
     cages first, then cables plug into the modules' optical sides).
-    ``fastpath``/``batch_size`` are forwarded to every module (None keeps
-    the :class:`~repro.config.Settings` environment defaults,
-    FLEXSFP_FASTPATH/FLEXSFP_BATCH).
+    ``engine`` (an :class:`~repro.engine.EngineConfig` or tier name) is
+    forwarded to every module; the legacy ``fastpath``/``batch_size``
+    knobs survive for callers that have not migrated (None keeps the
+    :class:`~repro.config.Settings` environment defaults) but conflict
+    with an explicit ``engine``.
     """
     modules: dict[int, FlexSFPModule] = {}
     for port_index, policy in sorted(plan.policies.items()):
@@ -111,6 +115,7 @@ def apply_retrofit(
             mgmt_mac=f"02:f5:f9:00:01:{port_index + 1:02x}",
             fastpath=fastpath,
             batch_size=batch_size,
+            engine=engine,
         )
         switch.insert_flexsfp(port_index, module)
         modules[port_index] = module

@@ -208,7 +208,12 @@ class TestJsonOutput:
 
 
 class TestRunSubcommand:
-    def test_run_json_document(self, capsys):
+    def test_run_json_document(self, capsys, monkeypatch):
+        # Pin the engine selection: the assertion below expects the
+        # reference tier, so a forced-fastpath environment (the CI job
+        # that reruns the suite under FLEXSFP_FASTPATH=1) must not leak in.
+        for var in ("FLEXSFP_FASTPATH", "FLEXSFP_BATCH", "FLEXSFP_ENGINE"):
+            monkeypatch.delenv(var, raising=False)
         code, doc = run_json(
             capsys, "run", "--scenario", "nat-linerate", "--shards", "2",
             "--workers", "1", "--seed", "3",

@@ -1,0 +1,267 @@
+"""Differential equivalence: the compiled engine tier vs reference.
+
+The compiled tier's contract is zero semantic divergence: fusing verified
+pipeline IR into per-flow recipe programs and moving whole bursts through
+the struct-of-arrays lane must change *nothing* about the simulated
+results — verdict counts, functional application counters, drop counts,
+delivered bytes, and the per-frame latency distribution stay bit-identical
+to the reference per-frame engine.  This suite drives every registered
+application through both engines and compares, then pins the deopt paths:
+a non-fusible application, a tracer attachment, per-frame arrivals
+interleaved into the burst lane, and a control-plane table write mid-run.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import APP_FACTORIES, StaticNat, create_app
+from repro.core import FlexSFPModule
+from repro.engine import EngineConfig
+from repro.netem import CbrSource, ImixSource
+from repro.packet import make_dns_query, make_tcp, make_udp, make_udp6
+from repro.sim import Port, Simulator, connect
+
+KEY = b"compiled-differential-key"
+RUN_S = 0.3e-3
+RATE_BPS = 5e9
+SEED = 7
+BATCH = 16
+
+# Applications whose compiled_profile() opts into burst fusion; for these
+# a same-flow CBR burst run must record fused recipe frames (otherwise the
+# differential passes vacuously with the fused lane never engaged).
+FUSIBLE_APPS = {"nat", "firewall", "loadbalancer", "dnsfilter"}
+
+SRC_IPS = [f"10.0.0.{i}" for i in range(1, 9)]
+DST_IPS = [f"203.0.113.{i}" for i in range(1, 5)]
+
+
+def make_imix_factory(seed: int):
+    """Seeded mixed-traffic factory (same flow pool as the fastpath suite)."""
+    rng = random.Random(seed)
+
+    def factory(index: int, frame_len: int) -> object:
+        src = rng.choice(SRC_IPS)
+        dst = rng.choice(DST_IPS)
+        sport = 10_000 + rng.randrange(4)
+        kind = rng.randrange(10)
+        payload = bytes(max(0, frame_len - 42))
+        if kind < 6:
+            return make_udp(
+                src_ip=src, dst_ip=dst, sport=sport, dport=20_000,
+                payload=payload,
+            )
+        if kind < 8:
+            return make_tcp(src_ip=src, dst_ip=dst, sport=sport, dport=80)
+        if kind == 8:
+            return make_udp6(payload=payload)
+        return make_dns_query("www.example.com", src_ip=src)
+
+    return factory
+
+
+def build_module(sim: Simulator, name: str, engine) -> tuple:
+    app = create_app(name)
+    if name == "nat":
+        for src in SRC_IPS:
+            app.add_mapping(src, src.replace("10.0.0.", "198.51.100."))
+    module = FlexSFPModule(sim, "dut", app, auth_key=KEY, engine=engine)
+    batched = module.batch_size > 1
+    host = Port(sim, "host", 10e9, queue_bytes=1 << 20, coalesce=batched)
+    fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 20, batch_rx=batched)
+    connect(host, module.edge_port)
+    connect(module.line_port, fiber)
+    return module, host, fiber
+
+
+def results_of(module, host, fiber) -> dict:
+    return {
+        "verdicts": dict(module.ppe.snapshot()["verdicts"]),
+        "processed": module.ppe.processed.snapshot(),
+        "overload_drops": module.ppe.overload_drops.snapshot(),
+        "latency_ns": module.ppe.latency_ns.snapshot(),
+        "app_counters": module.app.counters_snapshot(),
+        "delivered": fiber.rx.snapshot(),
+        "returned": host.rx.snapshot(),
+        "edge_drops": module.edge_port.drops.snapshot(),
+        "line_drops": module.line_port.drops.snapshot(),
+    }
+
+
+def run_imix(name: str, engine: str, tracer_packets: int | None = None):
+    sim = Simulator()
+    module, host, fiber = build_module(sim, name, engine)
+    if tracer_packets is not None:
+        from repro.obs.trace import Tracer
+
+        module.attach_tracer(Tracer(limit=tracer_packets))
+    ImixSource(
+        sim,
+        host,
+        rate_bps=RATE_BPS,
+        stop=RUN_S,
+        factory=make_imix_factory(SEED),
+        seed=SEED,
+        burst=module.batch_size if module.batch_size > 1 else 1,
+    )
+    sim.run(until=RUN_S + 0.2e-3)
+    return results_of(module, host, fiber), module
+
+
+def run_cbr_burst(name: str, engine: str):
+    """Same-flow CBR through the template-burst lane (fusion's home turf)."""
+    sim = Simulator()
+    module, host, fiber = build_module(sim, name, engine)
+    template = make_udp(
+        src_ip="10.0.0.1", dst_ip="203.0.113.1", sport=10_000, dport=20_000,
+        payload=bytes(80),
+    )
+    compiled = module.engine_config.compiled
+    CbrSource(
+        sim,
+        host,
+        rate_bps=RATE_BPS,
+        frame_len=template.wire_len,
+        stop=RUN_S,
+        factory=lambda index, size: template.copy(),
+        burst=module.batch_size if module.batch_size > 1 else 1,
+        template_burst=compiled,
+    )
+    sim.run(until=RUN_S + 0.2e-3)
+    return results_of(module, host, fiber), module
+
+
+@pytest.mark.parametrize("name", sorted(APP_FACTORIES))
+def test_compiled_imix_matches_reference(name):
+    reference, _ = run_imix(name, "reference")
+    compiled, module = run_imix(name, "compiled")
+    assert compiled == reference, name
+    assert reference["processed"]["packets"] > 50, name
+    assert module.program is not None
+
+
+@pytest.mark.parametrize("name", sorted(APP_FACTORIES))
+def test_compiled_burst_matches_reference(name):
+    reference, _ = run_cbr_burst(name, "reference")
+    compiled, module = run_cbr_burst(name, "compiled")
+    assert compiled == reference, name
+    assert reference["processed"]["packets"] > 50, name
+    stats = module.ppe.snapshot()["compiled"]
+    if name in FUSIBLE_APPS:
+        assert stats["bursts"] > 0, f"{name}: burst lane never engaged"
+        assert stats["recipe_frames"] > 0, f"{name}: no fused frames: {stats}"
+    if not module.program.fusible:
+        # Non-fusible programs accept bursts but deopt every frame to the
+        # exact per-frame lane — the equality above proves that lane right.
+        assert stats["deopt_frames"] > 0, f"{name}: {stats}"
+        assert stats["recipe_frames"] == 0, f"{name}: {stats}"
+
+
+def test_tracer_deopts_to_reference_arithmetic():
+    """An attached tracer disables fusion (recipes skip per-stage spans)
+    without changing any simulated result."""
+    reference, _ = run_imix("nat", "reference")
+    traced, module = run_imix("nat", "compiled", tracer_packets=4)
+    assert traced == reference
+    stats = module.ppe.snapshot()["compiled"]
+    assert stats["recipe_frames"] == 0, stats
+
+
+def test_interleaved_frames_deopt_burst():
+    """A per-frame arrival landing between bursts materializes the pending
+    burst; the mixed stream still matches reference exactly."""
+
+    def run(engine: str):
+        sim = Simulator()
+        module, host, fiber = build_module(sim, "nat", engine)
+        template = make_udp(
+            src_ip="10.0.0.1", dst_ip="203.0.113.1", sport=10_000,
+            dport=20_000, payload=bytes(80),
+        )
+        stray = make_udp(
+            src_ip="10.0.0.2", dst_ip="203.0.113.2", sport=10_001,
+            dport=20_000, payload=bytes(80),
+        )
+        CbrSource(
+            sim,
+            host,
+            rate_bps=RATE_BPS,
+            frame_len=template.wire_len,
+            stop=RUN_S,
+            factory=lambda index, size: template.copy(),
+            burst=module.batch_size if module.batch_size > 1 else 1,
+            template_burst=module.engine_config.compiled,
+        )
+        # Stray per-frame sends interleave with the burst stream.
+        for k in range(5):
+            sim.schedule_at(
+                (k + 1) * RUN_S / 6,
+                lambda: host.send(stray.copy()),
+            )
+        sim.run(until=RUN_S + 0.2e-3)
+        return results_of(module, host, fiber), module
+
+    reference, _ = run("reference")
+    compiled, module = run("compiled")
+    assert compiled == reference
+    stats = module.ppe.snapshot()["compiled"]
+    assert stats["bursts"] > 0
+    assert stats["recipe_frames"] > 0
+
+
+def test_midrun_table_write_matches_reference():
+    """A control-plane remap mid-stream flips the translated address at
+    exactly the same packet index under fused bursts as under reference."""
+
+    def run(engine: str) -> tuple[list[str], object]:
+        sim = Simulator()
+        nat = StaticNat()
+        nat.add_mapping("10.0.0.1", "198.51.100.1")
+        module = FlexSFPModule(sim, "dut", nat, auth_key=KEY, engine=engine)
+        batched = module.batch_size > 1
+        host = Port(sim, "host", 10e9, queue_bytes=1 << 22, coalesce=batched)
+        fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 22, batch_rx=batched)
+        seen: list[str] = []
+        fiber.attach(lambda port, pkt: seen.append(pkt.ipv4.src_ip))
+        if batched:
+            fiber.attach_batch(
+                lambda port, items: seen.extend(
+                    pkt.ipv4.src_ip for pkt, _size, _when in items
+                )
+            )
+        connect(host, module.edge_port)
+        connect(module.line_port, fiber)
+        template = make_udp(src_ip="10.0.0.1", payload=b"y" * 50)
+        CbrSource(
+            sim, host, rate_bps=1e8, frame_len=112, stop=2e-4,
+            factory=lambda i, s: template.copy(),
+            burst=module.batch_size if batched else 1,
+            template_burst=module.engine_config.compiled,
+        )
+        sim.schedule_at(
+            1e-4, lambda: module.app.add_mapping("10.0.0.1", "198.51.100.99")
+        )
+        sim.run(until=3e-4)
+        return seen, module
+
+    reference, _ = run("reference")
+    compiled, module = run("compiled")
+    assert reference == compiled
+    assert set(reference) == {"198.51.100.1", "198.51.100.99"}
+
+
+def test_explicit_engine_config_carries_options():
+    """A hand-built EngineConfig (bigger batch) is honored verbatim and
+    still differentially clean."""
+    reference, _ = run_imix("nat", "reference")
+    sim = Simulator()
+    config = EngineConfig(tier="compiled", fastpath=True, batch_size=64)
+    module, host, fiber = build_module(sim, "nat", config)
+    assert module.batch_size == 64
+    ImixSource(
+        sim, host, rate_bps=RATE_BPS, stop=RUN_S,
+        factory=make_imix_factory(SEED), seed=SEED, burst=64,
+    )
+    sim.run(until=RUN_S + 0.2e-3)
+    assert results_of(module, host, fiber) == reference

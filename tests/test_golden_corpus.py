@@ -46,7 +46,8 @@ def _scenario_artifact(spec: ScenarioSpec) -> RunArtifact:
 # name -> zero-argument artifact builder.  Every case pins a different
 # slice of the surface: the reference engine, the batched+fastpath
 # engine (must produce the same semantic digests, different metric set),
-# a multi-shard fleet merge, and the chaos gauntlet's scenario-run path.
+# the compiled engine (fused burst lane), a multi-shard fleet merge, and
+# the chaos gauntlet's scenario-run path.
 GOLDEN_CASES = {
     "nat-linerate_seed11_reference": lambda: _fleet_artifact(
         ScenarioSpec(
@@ -57,6 +58,9 @@ GOLDEN_CASES = {
         ScenarioSpec(
             kind="nat-linerate", seed=11, shards=1, fastpath=True, batch_size=16
         )
+    ),
+    "nat-linerate_seed11_compiled": lambda: _fleet_artifact(
+        ScenarioSpec(kind="nat-linerate", seed=11, shards=1, engine="compiled")
     ),
     "nat-linerate_seed11_shards2": lambda: _fleet_artifact(
         ScenarioSpec(

@@ -22,7 +22,7 @@ from repro.obs.scenario import ScenarioSpec, TrafficProfile
 CHAOS_TRAFFIC = TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=0.4)
 
 ENGINE_FASTPATH_AXES = MatrixAxes(
-    engines=("reference", "batched"),
+    engines=("reference", "batched", "compiled"),
     fastpath=(False, True),
 )
 
@@ -53,12 +53,33 @@ class TestNatLinerateSweep:
                 f"{[e.to_dict() for e in cell.diff.semantic_entries]}"
             )
 
-    def test_all_four_engine_fastpath_cells_ran(self, nat_matrix):
-        assert len(nat_matrix.cells) == 4
+    def test_all_engine_fastpath_cells_ran(self, nat_matrix):
+        # 2 engines x 2 fastpath states + one compiled cell: compiled is
+        # the fused fastpath, so its fastpath-off duplicate is deduped.
+        assert len(nat_matrix.cells) == 5
         engines = {cell.config.engine for cell in nat_matrix.cells}
         fastpaths = {cell.config.fastpath for cell in nat_matrix.cells}
-        assert engines == {"reference", "batched"}
+        assert engines == {"reference", "batched", "compiled"}
         assert fastpaths == {True, False}
+        compiled = [
+            cell for cell in nat_matrix.cells if cell.config.engine == "compiled"
+        ]
+        assert len(compiled) == 1
+        assert compiled[0].config.fastpath is True
+
+    def test_compiled_cell_fused_real_bursts(self, nat_matrix):
+        """The compiled cell demonstrably ran the fused lane (not a
+        vacuous differential where everything deopted or never fused)."""
+        (cell,) = [
+            cell for cell in nat_matrix.cells if cell.config.engine == "compiled"
+        ]
+        metrics = cell.artifact.metrics
+        fused = sum(
+            value
+            for name, value in metrics.items()
+            if name.endswith(".compiled.recipe_frames")
+        )
+        assert fused > 0, "compiled cell never executed a fused recipe"
 
     def test_semantic_shard_digests_agree_across_engines(self, nat_matrix):
         digests = {

@@ -141,6 +141,8 @@ class TestSpecPlumbing:
         # Env knobs fold into the spec before fan-out: the resolved spec
         # the workers execute carries concrete values, never None.
         monkeypatch.setenv("FLEXSFP_BATCH", "4")
+        monkeypatch.delenv("FLEXSFP_FASTPATH", raising=False)
+        monkeypatch.delenv("FLEXSFP_ENGINE", raising=False)
         result = run_sharded(NAT, workers=1)
         assert result.spec.batch_size == 4
         assert result.spec.fastpath is False
