@@ -16,6 +16,18 @@ from __future__ import annotations
 from ..core.shells import ShellSpec
 from ..fpga.resources import FPGADevice, MPF200T
 from ..hls.xdp import XdpProgram
+from .effects import (
+    EffectSummary,
+    LineRateVerdict,
+    StageEffect,
+    analyze_app,
+    analyze_pipeline,
+    corpus_digest,
+    effect_findings,
+    fusion_engagement,
+    line_rate_verdict,
+    profile_findings,
+)
 from .findings import (
     Finding,
     Severity,
@@ -34,28 +46,45 @@ def check_app(
     device: FPGADevice = MPF200T,
     shell: ShellSpec | None = None,
 ) -> list[Finding]:
-    """All static findings for one application: XDP analysis + IR verify."""
+    """All static findings for one application: XDP analysis + IR verify.
+
+    Also cross-checks any surviving hand-written ``compiled_profile``
+    declaration against the derived effect summary — a mismatch is an
+    error, so a stale fusion contract can never gate the compiled tier.
+    """
     findings: list[Finding] = []
     rewrites = None
     if isinstance(app, XdpProgram):
         findings += check_program(app)
         rewrites = list(app.rewrites)
+    spec = app.pipeline_spec()
     findings += verify_pipeline(
-        app.pipeline_spec(), device=device, shell=shell, rewrites=rewrites
+        spec, device=device, shell=shell, rewrites=rewrites
     )
+    findings += profile_findings(app, analyze_pipeline(spec))
     return sort_findings(findings)
 
 
 __all__ = [
+    "EffectSummary",
     "Finding",
+    "LineRateVerdict",
     "Severity",
+    "StageEffect",
+    "analyze_app",
+    "analyze_pipeline",
     "check_app",
     "check_program",
+    "corpus_digest",
     "default_lint_root",
+    "effect_findings",
     "errors",
+    "fusion_engagement",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "line_rate_verdict",
+    "profile_findings",
     "scan_source_file",
     "severity_counts",
     "sort_findings",

@@ -13,6 +13,10 @@ source and flags the constructs that history shows cause exactly that:
   RNG state couples independent components).
 * ``det-set-order`` — iterating a set (or ``set()`` result) straight into
   ordered output; Python set order varies with hash seeding and history.
+* ``det-hash-order`` — iterating the result of set algebra
+  (``.union()``, ``.intersection()``, …) into ordered output; the result
+  is a set whose order is hash-seed-dependent even when both operands
+  were ordered.
 * ``det-id-order`` — ordering by ``id()``: address-dependent and
   unreproducible across runs.
 
@@ -20,13 +24,19 @@ Intentional uses are suppressed inline::
 
     start = perf_counter()  # flexsfp: allow(det-wallclock)
 
-A bare ``# flexsfp: allow`` suppresses every rule on that line.
+Pragmas are themselves audited: every ``allow`` must name the rule(s) it
+suppresses (a bare ``# flexsfp: allow`` still suppresses everything but
+draws a ``det-allow-unnamed`` warning), and a named rule that suppresses
+nothing on its line is a stale pragma (``det-allow-stale`` warning) — so
+suppressions cannot silently outlive the code they excused.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 
 from .findings import Finding, Severity, sort_findings
@@ -38,6 +48,9 @@ _WALLCLOCK_TIME_FNS = frozenset(
 )
 _WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
 _SET_PRODUCERS = frozenset({"set", "frozenset"})
+_SET_OPERATIONS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
 _ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter", "next"})
 _ORDERING_CALLS = frozenset({"sorted", "min", "max"})
 
@@ -57,6 +70,9 @@ class _ModuleLinter(ast.NodeVisitor):
         self.datetime_names: set[str] = set()
         self.random_fn_names: set[str] = set()
         self.random_class_names: set[str] = set()
+        # (line, rule) pairs an allow pragma actually suppressed — the
+        # pragma audit marks any named rule without a hit as stale.
+        self.suppression_hits: set[tuple[int, str]] = set()
 
     # ------------------------------------------------------------------
     def _suppressed(self, line: int, rule: str) -> bool:
@@ -67,8 +83,12 @@ class _ModuleLinter(ast.NodeVisitor):
             return False
         listed = match.group(1)
         if listed is None or not listed.strip():
+            self.suppression_hits.add((line, rule))
             return True
-        return rule in {item.strip() for item in listed.split(",")}
+        if rule in {item.strip() for item in listed.split(",")}:
+            self.suppression_hits.add((line, rule))
+            return True
+        return False
 
     def _add(self, rule: str, line: int, message: str, hint: str = "") -> None:
         if self._suppressed(line, rule):
@@ -115,6 +135,18 @@ class _ModuleLinter(ast.NodeVisitor):
                 expr.lineno,
                 f"{context} iterates a set; iteration order is "
                 "hash-seed-dependent",
+                "wrap in sorted(...) before it feeds ordered output",
+            )
+        elif (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _SET_OPERATIONS
+        ):
+            self._add(
+                "det-hash-order",
+                expr.lineno,
+                f"{context} iterates a .{expr.func.attr}() result; set "
+                "algebra returns a set whose order is hash-seed-dependent",
                 "wrap in sorted(...) before it feeds ordered output",
             )
 
@@ -208,6 +240,54 @@ class _ModuleLinter(ast.NodeVisitor):
                 "use the simulator's virtual time",
             )
 
+    # ------------------------------------------------------------------
+    def audit_pragmas(self, source: str) -> None:
+        """Second pass: every allow pragma must be named and earning its keep.
+
+        Only genuine COMMENT tokens are audited (a pragma quoted inside a
+        docstring is documentation, not a suppression), which is why this
+        tokenizes instead of rescanning raw lines.
+        """
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (token.start[0], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+        for lineno, comment in comments:
+            match = _ALLOW_RE.search(comment)
+            if match is None:
+                continue
+            listed = match.group(1)
+            if listed is None or not listed.strip():
+                self.findings.append(
+                    Finding(
+                        "det-allow-unnamed",
+                        Severity.WARNING,
+                        f"{self.filename}:{lineno}",
+                        "bare '# flexsfp: allow' suppresses every rule on "
+                        "the line",
+                        "name the suppressed rule(s): "
+                        "# flexsfp: allow(det-...)",
+                    )
+                )
+                continue
+            for item in listed.split(","):
+                rule = item.strip()
+                if rule and (lineno, rule) not in self.suppression_hits:
+                    self.findings.append(
+                        Finding(
+                            "det-allow-stale",
+                            Severity.WARNING,
+                            f"{self.filename}:{lineno}",
+                            f"allow({rule}) suppresses nothing on this line",
+                            "delete the stale pragma",
+                        )
+                    )
+
     def _check_id_ordering(self, node: ast.Call) -> None:
         """Flag id() used anywhere inside a sorting/ordering call."""
         for sub in ast.walk(node):
@@ -241,6 +321,7 @@ def lint_source(source: str, filename: str) -> list[Finding]:
         ]
     linter = _ModuleLinter(filename, source)
     linter.visit(tree)
+    linter.audit_pragmas(source)
     return linter.findings
 
 

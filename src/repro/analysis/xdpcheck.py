@@ -22,6 +22,9 @@ philosophy of ahead-of-time verification (§4.2):
   and field rewrites must be covered by ``parses`` / ``rewrites`` so the
   parser and action units are sized correctly.
 * ``xdp-verdict`` — every path must return an :class:`XdpVerdict`.
+* ``xdp-dead-code`` — statements after an unconditional return/raise are
+  unreachable, yet the hXDP-style compiler would still allocate stages
+  for them; dead code is a warning so the footprint stays honest.
 """
 
 from __future__ import annotations
@@ -176,8 +179,40 @@ class _FunctionChecker(ast.NodeVisitor):
                     "not every path returns an XdpVerdict",
                     "end every branch with `return XdpVerdict.XDP_*`",
                 )
+            self._check_dead_code(self.node.body)
         self._check_unused_maps()
         return self.findings
+
+    def _check_dead_code(self, body: list[ast.stmt]) -> None:
+        """Flag statements following an unconditional return/raise.
+
+        One warning per statement list (everything after the first
+        unreachable statement is equally dead), recursing into nested
+        branch bodies so `if/else` arms are audited independently.
+        """
+        for index, stmt in enumerate(body[:-1]):
+            if _always_returns_value([stmt]):
+                self._add(
+                    "xdp-dead-code",
+                    Severity.WARNING,
+                    body[index + 1].lineno,
+                    "unreachable: every path above already returned",
+                    "delete the dead statements; they would still be "
+                    "synthesized into stages",
+                )
+                break
+        for stmt in body:
+            for child in (
+                getattr(stmt, "body", None),
+                getattr(stmt, "orelse", None),
+                getattr(stmt, "finalbody", None),
+            ):
+                if isinstance(child, list) and child:
+                    self._check_dead_code(child)
+            for case in getattr(stmt, "cases", ()) or ():
+                self._check_dead_code(case.body)
+            for handler in getattr(stmt, "handlers", ()) or ():
+                self._check_dead_code(handler.body)
 
     # ------------------------------------------------------------------
     def _collect_header_vars(self) -> None:

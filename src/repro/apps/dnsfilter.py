@@ -114,12 +114,6 @@ class DnsFilter(PPEApplication):
         # flow_key filtered out anything DNS-parseable; the rest passes.
         return FlowRecipe(Verdict.PASS)
 
-    def compiled_profile(self) -> dict:
-        # Non-DNS flows fuse on (dst addr, dst port): 32 + 16 bits.
-        # Cleartext DNS opts out via flow_key (payload-dependent verdict),
-        # so those frames deopt per-burst rather than per-profile.
-        return {"fusible": True, "key_bits": 48, "rewrite_bits": 0}
-
     def pipeline_spec(self) -> PipelineSpec:
         return PipelineSpec(
             name=self.name,

@@ -137,11 +137,6 @@ class AclFirewall(PPEApplication):
             return FlowRecipe(Verdict.DROP, counters=("denied",))
         return FlowRecipe(Verdict.PASS, counters=("permitted",))
 
-    def compiled_profile(self) -> dict:
-        # Stateless ACL verdicts are a pure function of the 104-bit
-        # 5-tuple key and rule set; no header rewrites.
-        return {"fusible": True, "key_bits": KEY_BITS, "rewrite_bits": 0}
-
     def pipeline_spec(self) -> PipelineSpec:
         return PipelineSpec(
             name=self.name,

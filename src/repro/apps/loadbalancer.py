@@ -130,11 +130,6 @@ class L4LoadBalancer(PPEApplication):
             counters=("steered",),
         )
 
-    def compiled_profile(self) -> dict:
-        # The hash ring is deterministic per (5-tuple, pool generation), so
-        # steering fuses; the rewrite lane carries IP (32) + MAC (48) bits.
-        return {"fusible": True, "key_bits": 104, "rewrite_bits": 80}
-
     def pipeline_spec(self) -> PipelineSpec:
         return PipelineSpec(
             name=self.name,

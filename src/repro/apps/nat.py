@@ -137,13 +137,6 @@ class StaticNat(PPEApplication):
                 )
         return FlowRecipe(Verdict.PASS)
 
-    def compiled_profile(self) -> dict:
-        # decide() reads only (ip.src, ip.dst, direction, tables): pure per
-        # flow, so one decision fuses over a whole burst.  The executor's
-        # rewrite lane carries one 32-bit address; the key is the address
-        # pair.
-        return {"fusible": True, "key_bits": 64, "rewrite_bits": 32}
-
     # ------------------------------------------------------------------
     # Synthesis
     # ------------------------------------------------------------------

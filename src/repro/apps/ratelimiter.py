@@ -97,15 +97,54 @@ class RateLimiter(PPEApplication):
         """
         return None
 
-    def compiled_profile(self) -> dict:
-        """Never fusible: token buckets debit per packet at arrival time.
+    def burst_plan(self, template: Packet, direction):
+        """Sequential meter replay for the compiled engine's meter lane.
 
-        A fused recipe would freeze one conform/police verdict over a
-        whole burst while the real meter flips mid-burst as tokens drain.
-        The compiled engine therefore deopts every ratelimiter burst to
-        the exact per-frame lane (explicit override to document why).
+        A cached :class:`~repro.core.flowcache.FlowRecipe` can never
+        replay a policing decision (the same flow conforms now and is
+        policed a microsecond later), but the decision *is* a pure
+        function of the arrival times and sizes the engine already
+        knows.  The returned plan debits the bucket once per frame in
+        arrival order — bit-identical to per-frame :meth:`process` —
+        and hands back contiguous verdict runs for aggregate delivery.
         """
-        return {"fusible": False, "key_bits": 0, "rewrite_bits": 0}
+        ip = template.ipv4
+        permit = Verdict.PASS if self.default_permit else Verdict.DROP
+        if ip is None:
+
+            def plan_non_ip(times_ns: list[int], size: int):
+                return [(permit, len(times_ns))]
+
+            return plan_non_ip
+        src = ip.src
+
+        def plan(times_ns: list[int], size: int):
+            bucket = self.meters.lookup(src)
+            n = len(times_ns)
+            if bucket is None:
+                counter = self.counter("unmetered")
+                counter.packets += n
+                counter.bytes += n * size
+                return [(permit, n)]
+            conformed = self.counter("conformed")
+            policed = self.counter("policed")
+            runs: list[tuple[Verdict, int]] = []
+            for now_ns in times_ns:
+                if bucket.conforms(size, now_ns):
+                    verdict = Verdict.PASS
+                    conformed.packets += 1
+                    conformed.bytes += size
+                else:
+                    verdict = Verdict.DROP
+                    policed.packets += 1
+                    policed.bytes += size
+                if runs and runs[-1][0] is verdict:
+                    runs[-1] = (verdict, runs[-1][1] + 1)
+                else:
+                    runs.append((verdict, 1))
+            return runs
+
+        return plan
 
     def pipeline_spec(self) -> PipelineSpec:
         return PipelineSpec(

@@ -39,6 +39,7 @@ from ..engine import (  # noqa: F401 - canonical home is repro.engine; re-export
     engine_name,
     resolve_engine,
 )
+from ..analysis.effects import corpus_digest
 from ..errors import ConfigError
 from ..obs.export import SCHEMA_FLEET, SCHEMA_RUN, json_document
 from .diff import semantic_shard_digest
@@ -215,6 +216,9 @@ def _knobs_from_spec(spec_payload: Mapping, workers: int | None) -> dict:
         "workers": workers,
         "device": spec_payload.get("device"),
         "fault_plan": spec_payload.get("fault_plan"),
+        # Effect-analysis digest over the bundled app corpus: artifact
+        # diffs surface analysis/IR drift even when metrics agree.
+        "effect_digest": corpus_digest(),
     }
 
 
@@ -374,6 +378,7 @@ def artifact_from_bench(
             "workers": knobs.get("workers"),
             "device": knobs.get("device"),
             "fault_plan": knobs.get("fault_plan"),
+            "effect_digest": corpus_digest(),
         },
         metrics=metrics,
         histograms={},

@@ -41,8 +41,13 @@ from pathlib import Path
 
 from ._util import warn_deprecated, write_text_atomic
 from .analysis import (
+    analyze_app,
     check_app,
+    corpus_digest,
     default_lint_root,
+    effect_findings,
+    fusion_engagement,
+    line_rate_verdict,
     lint_paths,
     scan_source_file,
     severity_counts,
@@ -484,12 +489,43 @@ def cmd_check(args: argparse.Namespace) -> int:
         root = default_lint_root()
         findings += lint_paths([root])
         targets.append(f"self:{root}")
+    effects_report: dict[str, dict] = {}
+    fusibility_rows: list[tuple] = []
+    fused: list[str] = []
     if apps:
         device = get_device(args.device)
         shell = _shell_from_args(args)
         for name in apps:
-            findings += check_app(create_app(name), device=device, shell=shell)
+            app = create_app(name)
+            summary = analyze_app(app)
+            findings += check_app(app, device=device, shell=shell)
+            # check_app already cross-checked any surviving profile;
+            # include_profile=False keeps the findings deduplicated.
+            findings += effect_findings(
+                app, shell, summary=summary, include_profile=False
+            )
             targets.append(f"app:{name}")
+            engaged = fusion_engagement(app, summary)
+            if engaged is not None:
+                fused.append(name)
+            if args.effects:
+                payload = summary.to_dict()
+                payload["engaged_mode"] = engaged
+                payload["line_rate"] = line_rate_verdict(summary, shell).to_dict()
+                payload["digest"] = summary.digest()
+                effects_report[name] = payload
+            if args.fusibility:
+                fusibility_rows.append(
+                    (
+                        name,
+                        summary.burst_mode,
+                        engaged or "-",
+                        summary.key_bits,
+                        summary.rewrite_bits,
+                        summary.digest(),
+                        "; ".join(summary.blockers) or "-",
+                    )
+                )
     if examples_dir is not None:
         for path in sorted(Path(examples_dir).glob("*.py")):
             findings += scan_source_file(path)
@@ -499,10 +535,65 @@ def cmd_check(args: argparse.Namespace) -> int:
     headers = ("severity", "rule", "location", "message", "hint")
     rows = [finding.as_row() for finding in findings]
     if args.json:
+        extra: dict[str, object] = {}
+        if args.effects:
+            extra["effects"] = effects_report
+        if args.fusibility or args.effects:
+            extra["fusibility"] = {
+                "fused": fused,
+                "fused_count": len(fused),
+                "corpus_digest": corpus_digest(),
+            }
         print(
-            table_json("check", headers, rows, counts=counts, targets=targets)
+            table_json(
+                "check", headers, rows, counts=counts, targets=targets, **extra
+            )
         )
         return 1 if counts["error"] else 0
+    if args.fusibility and fusibility_rows:
+        _print_rows(
+            ("app", "proof", "engaged", "key_bits", "rewrite_bits", "digest",
+             "blockers"),
+            fusibility_rows,
+        )
+        print(
+            f"{len(fused)}/{len(fusibility_rows)} applications fuse "
+            f"(corpus digest {corpus_digest()})"
+        )
+        print()
+    if args.effects and effects_report:
+        for name, payload in effects_report.items():
+            line_rate = payload["line_rate"]
+            status = "sustains" if line_rate["sustained"] else "REJECTS"
+            print(
+                f"{name}: mode={payload['burst_mode']} "
+                f"engaged={payload['engaged_mode'] or '-'} "
+                f"key={payload['key_bits']}b rewrite={payload['rewrite_bits']}b "
+                f"digest={payload['digest']}"
+            )
+            print(
+                f"  line rate: {status} {line_rate['clock_mhz']} MHz × "
+                f"{line_rate['datapath_bits']} b, worst frame "
+                f"{line_rate['worst_frame']} B, "
+                f"{line_rate['conflict_cycles']} conflict cycle(s)"
+            )
+            _print_rows(
+                ("stage", "kind", "hdr r/w", "state r/w", "accesses", "time",
+                 "commutes"),
+                [
+                    (
+                        effect["stage"],
+                        effect["kind"],
+                        f"{effect['header_read_bits']}/{effect['header_write_bits']}",
+                        f"{effect['state_read_bits']}/{effect['state_write_bits']}",
+                        effect["table_accesses"],
+                        "yes" if effect["reads_time"] else "-",
+                        "yes" if effect["commutative"] else "no",
+                    )
+                    for effect in payload["effects"]
+                ],
+            )
+            print()
     if rows:
         _print_rows(headers, rows)
         print()
@@ -889,6 +980,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="scan a directory of example sources for XDP packet functions",
+    )
+    check.add_argument(
+        "--effects",
+        action="store_true",
+        help="print the per-stage effect report and line-rate verdict",
+    )
+    check.add_argument(
+        "--fusibility",
+        action="store_true",
+        help="print the derived fusibility proof per application",
     )
     check.add_argument("--device", default="MPF200T")
     check.add_argument("--shell", choices=sorted(_SHELLS), default="one-way-filter")

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Hashable
 
 from .._util import warn_deprecated
 from ..errors import ConfigError
+from ..packet import vlan_pop, vlan_push
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..packet import Packet
@@ -41,6 +42,11 @@ DEFAULT_FLOW_CACHE_ENTRIES = 4096
 
 # Packet properties a recipe may mutate (resolved via getattr(packet, kind)).
 _MUTABLE_HEADERS = ("eth", "ipv4", "ipv6", "tcp", "udp")
+
+# Structural ops a recipe may replay.  Unlike mutations these change the
+# frame length: each entry maps the op name to its wire-length delta so a
+# recipe knows its ``size_delta`` without touching a packet.
+_RECIPE_OPS = {"vlan_push": 4, "vlan_pop": -4}
 
 
 class FlowRecipe:
@@ -52,12 +58,21 @@ class FlowRecipe:
     value``.  ``counters`` names application counters bumped once per
     packet with the packet's wire length — so functional statistics stay
     identical whether a packet took the fast or the slow path.
+
+    ``ops`` is a tuple of structural header operations replayed *before*
+    the field mutations: ``("vlan_push", vid, pcp, service)`` or
+    ``("vlan_pop",)``.  Ops change the frame length; the recipe's
+    ``size_delta`` is the net wire-length change, and counter bumps use
+    the post-op size so fast-path statistics match the slow path (which
+    counts after its own pushes/pops).
     """
 
     __slots__ = (
         "verdict",
         "mutations",
         "counters",
+        "ops",
+        "size_delta",
         "_grouped",
         "_bound_app",
         "_bound_counters",
@@ -68,15 +83,23 @@ class FlowRecipe:
         verdict: "Verdict",
         mutations: tuple[tuple[str, str, int], ...] = (),
         counters: tuple[str, ...] = (),
+        ops: tuple[tuple, ...] = (),
     ) -> None:
         for header, _field, _value in mutations:
             if header not in _MUTABLE_HEADERS:
                 raise ConfigError(
                     f"recipe may only mutate {_MUTABLE_HEADERS}, got {header!r}"
                 )
+        for op in ops:
+            if not op or op[0] not in _RECIPE_OPS:
+                raise ConfigError(
+                    f"recipe ops limited to {sorted(_RECIPE_OPS)}, got {op!r}"
+                )
         self.verdict = verdict
         self.mutations = tuple(mutations)
         self.counters = tuple(counters)
+        self.ops = tuple(ops)
+        self.size_delta = sum(_RECIPE_OPS[op[0]] for op in self.ops)
         # Replay is the fast path's hottest call: group mutations by
         # header so each header property is resolved once per packet, and
         # lazily bind counter objects per application so replay skips the
@@ -97,10 +120,13 @@ class FlowRecipe:
     ) -> "Verdict":
         """Replay the decision onto ``packet``; returns the verdict.
 
-        ``size`` is an optional precomputed wire length for the counter
-        bumps — valid because mutations only set header fields and can
-        never change the frame length.
+        ``size`` is an optional precomputed *arrival* wire length for the
+        counter bumps; field mutations never change the frame length and
+        the recipe's own ``size_delta`` accounts for its structural ops,
+        so the post-op size is ``size + size_delta`` without re-measuring
+        the packet.
         """
+        self._replay_ops(packet)
         for header_name, fields in self._grouped:
             header = getattr(packet, header_name)
             if header is None:  # pragma: no cover - key/recipe mismatch guard
@@ -112,6 +138,8 @@ class FlowRecipe:
         if self.counters:
             if size is None:
                 size = packet.wire_len
+            else:
+                size += self.size_delta
             if app is not self._bound_app:
                 self._bound_app = app
                 self._bound_counters = tuple(
@@ -131,8 +159,11 @@ class FlowRecipe:
         same-flow, same-size frames as a single template packet; the
         mutations land once on that template and the counter bumps are
         fused into one ``+= count`` — arithmetically identical to
-        ``count`` calls of :meth:`apply` on per-frame copies.
+        ``count`` calls of :meth:`apply` on per-frame copies.  ``size``
+        is the per-frame *arrival* wire length; counters see the post-op
+        size, as on the slow path.
         """
+        self._replay_ops(packet)
         for header_name, fields in self._grouped:
             header = getattr(packet, header_name)
             if header is None:  # pragma: no cover - key/recipe mismatch guard
@@ -149,8 +180,16 @@ class FlowRecipe:
                 )
             for counter in self._bound_counters:
                 counter.packets += count
-                counter.bytes += count * size
+                counter.bytes += count * (size + self.size_delta)
         return self.verdict
+
+    def _replay_ops(self, packet: "Packet") -> None:
+        for op in self.ops:
+            if op[0] == "vlan_push":
+                _, vid, pcp, service = op
+                vlan_push(packet, vid, pcp=pcp, service=service)
+            else:
+                vlan_pop(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

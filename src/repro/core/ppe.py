@@ -183,20 +183,21 @@ class PPEApplication(ABC):
         """
         return None
 
-    def compiled_profile(self) -> dict:
-        """Fusion contract for the compiled engine tier.
+    def burst_plan(self, template: Packet, direction: Direction):
+        """Sequential burst replay for meter-mode fusion, or None to deopt.
 
-        ``fusible`` True declares that for every packet with a non-None
-        :meth:`flow_key`, :meth:`decide` is a pure read of the packet,
-        the traversal direction, and current table state — it never
-        consults the packet's arrival time, mutates tables, or emits —
-        so one decision may stand for a whole same-flow burst.
-        ``key_bits``/``rewrite_bits`` size the fused executor's hardware
-        (:func:`repro.fpga.estimator.fused_executor`).  The default opts
-        out: the compiled engine then deopts every burst to the exact
-        per-frame lane.
+        Only consulted when the effect analysis classifies the pipeline as
+        ``meter``-fusible (:mod:`repro.analysis.effects`).  The hook
+        receives a burst's template frame and traversal direction and
+        returns a callable ``plan(times_ns, size) -> [(Verdict, count)]``
+        replaying the per-frame meter arithmetic in arrival order —
+        bit-identical state updates and counter bumps, collapsed into
+        contiguous same-verdict runs — or None to deopt the burst.  A plan
+        must restrict itself to PASS/DROP verdicts and may not read the
+        queue depth or emit packets (the analysis proves the pipeline has
+        no effects beyond meter state, counters, and the verdict).
         """
-        return {"fusible": False, "key_bits": 0, "rewrite_bits": 0}
+        return None
 
     def config(self) -> dict:
         """Serializable constructor parameters (stored in bitstreams)."""
@@ -231,6 +232,7 @@ class _PendingBurst:
         "size",
         "direction",
         "key",
+        "meter",
         "done_burst",
         "done_frame",
         "enqueue_ns",
@@ -248,11 +250,13 @@ class _PendingBurst:
         done_frame: DoneCallback,
         enqueue_ns: "np.ndarray",
         finish: "np.ndarray",
+        meter: bool = False,
     ) -> None:
         self.template = template
         self.size = size
         self.direction = direction
         self.key = key
+        self.meter = meter
         self.done_burst = done_burst
         self.done_frame = done_frame
         self.enqueue_ns = enqueue_ns
@@ -658,17 +662,22 @@ class PacketProcessingEngine:
         its completion callback.
         """
         key = None
+        meter = False
         program = self.program
         if (
             program is not None
             and program.fusible
-            and self.flow_cache is not None
             and self.tracer is None
             and self.batch_size > 1
             and not self._arrivals
         ):
-            key = self.app.flow_key(template)
-        if key is None:
+            if program.mode == "meter":
+                # Sequential meter lane: no flow key — the application
+                # replays the slice's arrival times itself (burst_plan).
+                meter = True
+            elif self.flow_cache is not None:
+                key = self.app.flow_key(template)
+        if key is None and not meter:
             values = times.tolist() if hasattr(times, "tolist") else list(times)
             self.compiled_deopts += len(values)
             if self.batch_size <= 1:
@@ -703,6 +712,7 @@ class PacketProcessingEngine:
             done_frame,
             (admitted_at * 1e9).astype(np.int64),
             finishes,
+            meter=meter,
         )
         self._bursts.append(burst)
         self.compiled_bursts += 1
@@ -862,7 +872,10 @@ class PacketProcessingEngine:
                 end = int(np.searchsorted(finish, now, side="right"))
                 if end <= pos:
                     break
-                self._fuse_slice(burst, pos, end)
+                if burst.meter:
+                    self._fuse_meter_slice(burst, pos, end)
+                else:
+                    self._fuse_slice(burst, pos, end)
                 if end < len(finish):
                     burst.pos = end
                     break
@@ -881,9 +894,9 @@ class PacketProcessingEngine:
         decided = 0
         if recipe is None:
             # Slow-path probe: one decide() stands for the whole slice.
-            # The fused contract (compiled_profile) guarantees decide is
-            # a pure read of (packet, direction, tables), so the slice
-            # head's context is representative of every frame.
+            # The effect analysis proved decide is a pure read of
+            # (packet, direction, tables), so the slice head's context is
+            # representative of every frame.
             ctx = PPEContext(
                 int(burst.finish[pos] * 1e9),
                 direction,
@@ -903,12 +916,17 @@ class PacketProcessingEngine:
             return
         packet = burst.template.copy()
         applied = recipe.apply_burst(packet, app, size, count)
+        # Hits are counted at arrival size; ``processed`` and the
+        # delivered size reflect the recipe's structural ops (e.g. a VLAN
+        # push grows every frame by 4 bytes), matching the slow path's
+        # post-process wire length.
+        effective = size + recipe.size_delta
         hits = self.fastpath_hits
         hits.packets += count - decided
         hits.bytes += (count - decided) * size
         processed = self.processed
         processed.packets += count
-        processed.bytes += count * size
+        processed.bytes += count * effective
         self.verdict_counts[applied] += count
         self.compiled_frames += count
         deliver_s = burst.finish[pos:end] + self.pipeline_latency_s
@@ -918,10 +936,56 @@ class PacketProcessingEngine:
             burst.done_burst,
             packet,
             applied,
-            size,
+            effective,
             deliver_s,
             burst.enqueue_ns[pos:end],
         )
+
+    def _fuse_meter_slice(self, burst: _PendingBurst, pos: int, end: int) -> None:
+        """Process one due slice through the sequential meter lane.
+
+        No recipe and no flow cache: the application's
+        :meth:`~PPEApplication.burst_plan` replays its time-varying state
+        (token buckets) over the slice's arrival times in order —
+        bit-identical arithmetic to per-frame ``process`` calls — and
+        returns contiguous verdict runs.  Each run delivers as one fused
+        burst; nothing is cached, so the next slice replans against the
+        then-current meter state.
+        """
+        app = self.app
+        size = burst.size
+        plan = app.burst_plan(burst.template, burst.direction)
+        if plan is None:
+            self._materialize_slice(burst, pos, end)
+            return
+        count = end - pos
+        times_ns = (burst.finish[pos:end] * 1e9).astype(np.int64).tolist()
+        runs = plan(times_ns, size)
+        if sum(n for _verdict, n in runs) != count:
+            raise SimulationError(
+                f"application {app.name!r} burst plan covered "
+                f"{sum(n for _v, n in runs)} of {count} frames"
+            )
+        processed = self.processed
+        processed.packets += count
+        processed.bytes += count * size
+        self.compiled_frames += count
+        pipeline_latency_s = self.pipeline_latency_s
+        offset = pos
+        for verdict, n in runs:
+            seg_finish = burst.finish[offset : offset + n]
+            self.verdict_counts[verdict] += n
+            self.sim.schedule(
+                pipeline_latency_s,
+                self._deliver_burst,
+                burst.done_burst,
+                burst.template.copy(),
+                verdict,
+                size,
+                seg_finish + pipeline_latency_s,
+                burst.enqueue_ns[offset : offset + n],
+            )
+            offset += n
 
     def _materialize_slice(self, burst: _PendingBurst, pos: int, end: int) -> None:
         """Deopt a due slice through the exact per-frame machinery."""
@@ -1083,10 +1147,11 @@ class PacketProcessingEngine:
 
         Recipe replays never see the context (the application is not
         entered), so cache hits skip building it entirely and report an
-        empty emitted tuple; recipes only set header fields, so the
-        precomputed ``size`` is still the frame's wire length for the
-        ``processed`` counter.  Slow-path frames get the identical
-        ``PPEContext`` the event-per-frame execution constructs.
+        empty emitted tuple; a recipe's structural ops may change the
+        frame length, so the ``processed`` counter sees the precomputed
+        ``size`` plus the recipe's ``size_delta``.  Slow-path frames get
+        the identical ``PPEContext`` the event-per-frame execution
+        constructs.
         """
         tracer = self.tracer
         if tracer is not None and tracer.is_traced(packet):
@@ -1106,7 +1171,7 @@ class PacketProcessingEngine:
                     verdict = recipe.apply(packet, app, size)
                     processed = self.processed
                     processed.packets += 1
-                    processed.bytes += size
+                    processed.bytes += size + recipe.size_delta
                     self.verdict_counts[verdict] += 1
                     return verdict, ()
                 ctx = PPEContext(finish_ns, direction, self.device_id, queue_depth)
@@ -1114,7 +1179,7 @@ class PacketProcessingEngine:
                 if recipe is not None:
                     cache.insert((direction, key), recipe, generation)
                     verdict = recipe.apply(packet, app, size)
-                    self.processed.count(size)
+                    self.processed.count(size + recipe.size_delta)
                     self.verdict_counts[verdict] += 1
                     return verdict, ctx.emitted
                 verdict = app.process(packet, ctx)

@@ -45,14 +45,25 @@ class TimingSpec:
         """Bus bandwidth with no per-frame bubbles."""
         return self.datapath_bits * self.clock_hz
 
-    def cycles_per_frame(self, frame_len_no_fcs: int) -> int:
-        """Pipeline-occupancy cycles for one frame (beats + bubble)."""
-        frame = max(frame_len_no_fcs + 4, MIN_FRAME_BYTES)  # MAC pads + FCS
-        return ceil_div(frame, self.datapath_bytes) + INTER_FRAME_BUBBLE_CYCLES
+    def cycles_per_frame(self, frame_len_no_fcs: int, extra_cycles: int = 0) -> int:
+        """Pipeline-occupancy cycles for one frame (beats + bubble).
 
-    def frame_service_time(self, frame_len_no_fcs: int) -> float:
+        ``extra_cycles`` adds per-frame stall cycles beyond the streaming
+        beats — e.g. table-port conflict penalties derived by the effect
+        analysis (:mod:`repro.analysis.effects`).
+        """
+        frame = max(frame_len_no_fcs + 4, MIN_FRAME_BYTES)  # MAC pads + FCS
+        return (
+            ceil_div(frame, self.datapath_bytes)
+            + INTER_FRAME_BUBBLE_CYCLES
+            + extra_cycles
+        )
+
+    def frame_service_time(
+        self, frame_len_no_fcs: int, extra_cycles: int = 0
+    ) -> float:
         """Seconds the PPE needs to stream one frame through."""
-        return self.cycles_per_frame(frame_len_no_fcs) / self.clock_hz
+        return self.cycles_per_frame(frame_len_no_fcs, extra_cycles) / self.clock_hz
 
     def max_frame_rate(self, frame_len_no_fcs: int) -> float:
         """Frames/second the datapath can stream at this operating point."""
@@ -63,29 +74,33 @@ class TimingSpec:
         return self.max_frame_rate(frame_len_no_fcs) * frame_len_no_fcs * 8
 
     def sustains_line_rate(
-        self, line_rate_bps: float, frame_len_no_fcs: int
+        self, line_rate_bps: float, frame_len_no_fcs: int, extra_cycles: int = 0
     ) -> bool:
         """Can the PPE keep up with back-to-back frames at ``line_rate_bps``?
 
         A frame arrives every ``frame_wire_bytes × 8 / line_rate`` seconds
         (wire accounting includes preamble/FCS/IFG); the PPE must service a
-        frame in no more time than that.
+        frame in no more time than that.  ``extra_cycles`` charges static
+        per-frame stalls (table-port conflicts) on top of the streaming
+        beats.
         """
         arrival_interval = frame_wire_bytes(frame_len_no_fcs) * 8 / line_rate_bps
         # Tiny relative tolerance so an operating point computed exactly at
         # the threshold (required_clock_hz) is accepted despite float
         # rounding; 1e-12 is far below any physical margin.
-        return self.frame_service_time(frame_len_no_fcs) <= arrival_interval * (
-            1 + 1e-12
-        )
+        return self.frame_service_time(
+            frame_len_no_fcs, extra_cycles
+        ) <= arrival_interval * (1 + 1e-12)
 
-    def worst_case_frame(self, line_rate_bps: float) -> tuple[int, bool]:
+    def worst_case_frame(
+        self, line_rate_bps: float, extra_cycles: int = 0
+    ) -> tuple[int, bool]:
         """Scan standard frame sizes; return (worst size, sustained?)."""
         worst_size = MIN_FRAME_BYTES - 4
         worst_margin = float("inf")
         for size in (60, 64, 128, 256, 512, 1024, 1514):
             arrival = frame_wire_bytes(size) * 8 / line_rate_bps
-            margin = arrival - self.frame_service_time(size)
+            margin = arrival - self.frame_service_time(size, extra_cycles)
             if margin < worst_margin:
                 worst_margin = margin
                 worst_size = size

@@ -1,7 +1,7 @@
 """Determinism linter: trigger and pass fixtures per rule, suppression
 syntax, and the self-clean guarantee over the installed package."""
 
-from repro.analysis import lint_paths, lint_source
+from repro.analysis import Severity, lint_paths, lint_source
 from repro.analysis.simlint import default_lint_root
 
 
@@ -71,6 +71,26 @@ class TestSetOrder:
         assert lint("for name in ['a', 'b']:\n    use(name)\n") == []
 
 
+class TestHashOrder:
+    def test_for_over_union_is_flagged(self):
+        source = "for name in first.union(second):\n    print(name)\n"
+        assert "det-hash-order" in rules_of(lint(source))
+
+    def test_list_of_intersection_is_flagged(self):
+        source = "rows = list(alive.intersection(ready))\n"
+        assert "det-hash-order" in rules_of(lint(source))
+
+    def test_comprehension_over_difference_is_flagged(self):
+        source = "gone = [n for n in before.difference(after)]\n"
+        assert "det-hash-order" in rules_of(lint(source))
+
+    def test_sorted_union_passes(self):
+        assert lint("order = sorted(first.union(second))\n") == []
+
+    def test_union_not_iterated_passes(self):
+        assert lint("combined = first.union(second)\n") == []
+
+
 class TestIdOrder:
     def test_sort_key_id_is_flagged(self):
         assert "det-id-order" in rules_of(lint("items.sort(key=id)\n")) or (
@@ -93,21 +113,37 @@ class TestSuppression:
         )
         assert lint(source) == []
 
-    def test_bare_allow_suppresses_everything(self):
+    def test_bare_allow_suppresses_everything_but_is_flagged(self):
         source = "import time\nstamp = time.time()  # flexsfp: allow\n"
-        assert lint(source) == []
+        findings = lint(source)
+        assert rules_of(findings) == {"det-allow-unnamed"}
+        assert all(f.severity is Severity.WARNING for f in findings)
 
     def test_wrong_rule_does_not_suppress(self):
         source = (
             "import time\n"
             "stamp = time.time()  # flexsfp: allow(det-set-order)\n"
         )
-        assert "det-wallclock" in rules_of(lint(source))
+        found = rules_of(lint(source))
+        assert "det-wallclock" in found
+        # …and the pragma that excused nothing is itself stale.
+        assert "det-allow-stale" in found
 
-    def test_allow_list_matches_any_member(self):
+    def test_allow_list_members_must_each_earn_their_keep(self):
         source = (
             "import time\n"
             "stamp = time.time()  # flexsfp: allow(det-set-order, det-wallclock)\n"
+        )
+        findings = lint(source)
+        # det-wallclock is suppressed; the det-set-order member is stale.
+        assert rules_of(findings) == {"det-allow-stale"}
+        assert "det-set-order" in findings[0].message
+
+    def test_docstring_pragma_examples_are_not_audited(self):
+        source = (
+            '"""Example:\n\n'
+            "    t = time.time()  # flexsfp: allow(det-wallclock)\n"
+            '"""\n'
         )
         assert lint(source) == []
 

@@ -173,6 +173,82 @@ class TestVerdictCompleteness:
         assert "xdp-verdict" not in rules_of(check_program(program(either)))
 
 
+class TestDeadCode:
+    def test_code_after_return_is_warning(self):
+        def eager(ctx: XdpContext) -> XdpVerdict:
+            return XdpVerdict.XDP_PASS
+            ctx.tcp  # noqa: B018 — deliberately unreachable
+
+        findings = check_program(program(eager))
+        assert "xdp-dead-code" in rules_of(findings, Severity.WARNING)
+
+    def test_code_after_exhaustive_if_is_warning(self):
+        def split(ctx: XdpContext) -> XdpVerdict:
+            if ctx.tcp is not None:
+                return XdpVerdict.XDP_DROP
+            else:
+                return XdpVerdict.XDP_PASS
+            return XdpVerdict.XDP_PASS  # unreachable
+
+        assert "xdp-dead-code" in rules_of(
+            check_program(program(split)), Severity.WARNING
+        )
+
+    def test_dead_code_inside_branch_is_warning(self):
+        def nested(ctx: XdpContext) -> XdpVerdict:
+            if ctx.tcp is None:
+                return XdpVerdict.XDP_PASS
+                ctx.udp  # unreachable inside the branch
+            return XdpVerdict.XDP_DROP
+
+        assert "xdp-dead-code" in rules_of(
+            check_program(program(nested)), Severity.WARNING
+        )
+
+    def test_one_warning_per_statement_list(self):
+        def pile(ctx: XdpContext) -> XdpVerdict:
+            return XdpVerdict.XDP_PASS
+            ctx.tcp  # unreachable
+            ctx.udp  # equally unreachable — same finding
+
+        findings = [
+            f for f in check_program(program(pile)) if f.rule == "xdp-dead-code"
+        ]
+        assert len(findings) == 1
+
+    def test_terminal_return_passes(self):
+        assert "xdp-dead-code" not in rules_of(check_program(program(clean)))
+
+    def test_non_exhaustive_if_then_code_passes(self):
+        def fallthrough(ctx: XdpContext) -> XdpVerdict:
+            if ctx.tcp is not None:
+                return XdpVerdict.XDP_DROP
+            ctx.udp  # reachable: the if may fall through
+            return XdpVerdict.XDP_PASS
+
+        assert "xdp-dead-code" not in rules_of(check_program(program(fallthrough)))
+
+    def test_example_source_scan_flags_dead_code(self, tmp_path):
+        source = (
+            "from repro.hls import XdpContext, XdpVerdict\n"
+            "def eager(ctx: XdpContext) -> XdpVerdict:\n"
+            "    return XdpVerdict.XDP_PASS\n"
+            "    ctx.tcp\n"
+        )
+        example = tmp_path / "dead_example.py"
+        example.write_text(source)
+        findings = scan_source_file(example)
+        assert "xdp-dead-code" in rules_of(findings, Severity.WARNING)
+        assert all(f.location.startswith("dead_example.py:eager") for f in findings)
+
+    def test_bundled_examples_have_no_dead_code(self):
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parent.parent / "examples"
+        for path in sorted(examples.glob("*.py")):
+            assert "xdp-dead-code" not in rules_of(scan_source_file(path)), path.name
+
+
 class TestDeclarationRules:
     def test_undeclared_map_is_error(self):
         hidden = XdpMap("hidden", max_entries=8)

@@ -28,10 +28,19 @@ RATE_BPS = 5e9
 SEED = 7
 BATCH = 16
 
-# Applications whose compiled_profile() opts into burst fusion; for these
-# a same-flow CBR burst run must record fused recipe frames (otherwise the
+# Applications the effect analysis proves fusible AND that implement the
+# runtime hooks their proven lane needs (flow_key/decide for pure
+# recipes, burst_plan for the sequential meter lane); for these a
+# same-flow CBR burst run must record fused frames (otherwise the
 # differential passes vacuously with the fused lane never engaged).
-FUSIBLE_APPS = {"nat", "firewall", "loadbalancer", "dnsfilter"}
+FUSIBLE_APPS = {
+    "nat",
+    "firewall",
+    "loadbalancer",
+    "dnsfilter",
+    "ratelimiter",
+    "vlan",
+}
 
 SRC_IPS = [f"10.0.0.{i}" for i in range(1, 9)]
 DST_IPS = [f"203.0.113.{i}" for i in range(1, 5)]
@@ -249,6 +258,116 @@ def test_midrun_table_write_matches_reference():
     compiled, module = run("compiled")
     assert reference == compiled
     assert set(reference) == {"198.51.100.1", "198.51.100.99"}
+
+
+def test_metered_ratelimiter_burst_matches_reference():
+    """The sequential meter lane replays token buckets bit-identically.
+
+    The bucket flips between conform and police mid-burst, so this pins
+    the property a frozen recipe could never provide: per-frame verdicts
+    inside one fused slice diverge exactly where the reference engine's
+    do."""
+
+    def run(engine: str):
+        sim = Simulator()
+        app = create_app("ratelimiter")
+        app.add_limit("10.0.0.0", 8, rate_bps=1e8, burst_bytes=4_000)
+        module = FlexSFPModule(sim, "dut", app, auth_key=KEY, engine=engine)
+        batched = module.batch_size > 1
+        host = Port(sim, "host", 10e9, queue_bytes=1 << 20, coalesce=batched)
+        fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 20, batch_rx=batched)
+        connect(host, module.edge_port)
+        connect(module.line_port, fiber)
+        template = make_udp(
+            src_ip="10.0.0.1", dst_ip="203.0.113.1", sport=10_000,
+            dport=20_000, payload=bytes(80),
+        )
+        CbrSource(
+            sim,
+            host,
+            rate_bps=RATE_BPS,
+            frame_len=template.wire_len,
+            stop=RUN_S,
+            factory=lambda index, size: template.copy(),
+            burst=module.batch_size if batched else 1,
+            template_burst=module.engine_config.compiled,
+        )
+        sim.run(until=RUN_S + 0.2e-3)
+        return results_of(module, host, fiber), module
+
+    reference, _ = run("reference")
+    compiled, module = run("compiled")
+    assert compiled == reference
+    counters = reference["app_counters"]
+    assert counters["conformed"]["packets"] > 0
+    assert counters["policed"]["packets"] > 0
+    stats = module.ppe.snapshot()["compiled"]
+    assert stats["bursts"] > 0, stats
+    assert stats["recipe_frames"] > 0, stats
+
+
+@pytest.mark.parametrize("service_vid", [None, 200])
+def test_vlan_untag_direction_matches_reference(service_vid):
+    """Line→edge VLAN/QinQ stripping fuses through structural-op recipes;
+    matched tags pop, foreign VIDs hit the partial-pop drop path."""
+    from repro.apps.vlan import VlanTagger
+    from repro.core.ppe import Direction
+    from repro.core.shells import ShellSpec
+    from repro.packet import vlan_push
+
+    def make_tagged(vids):
+        packet = make_udp(
+            src_ip="198.51.100.1", dst_ip="10.0.0.1", sport=20_000,
+            dport=10_000, payload=bytes(80),
+        )
+        for vid, service in reversed(vids):
+            vlan_push(packet, vid, service=service)
+        return packet
+
+    expected_vids = (
+        [(200, True), (100, False)] if service_vid else [(100, False)]
+    )
+    matched = make_tagged(expected_vids)
+    foreign = make_tagged(
+        [(200, True), (999, False)] if service_vid else [(999, False)]
+    )
+
+    def run(engine: str):
+        sim = Simulator()
+        app = VlanTagger(access_vid=100, service_vid=service_vid)
+        # The default shell filters edge→line only; untagging happens on
+        # the way back, so filter the line→edge direction instead.
+        shell = ShellSpec(filtered_direction=Direction.LINE_TO_EDGE)
+        module = FlexSFPModule(
+            sim, "dut", app, shell=shell, auth_key=KEY, engine=engine
+        )
+        batched = module.batch_size > 1
+        host = Port(sim, "host", 10e9, queue_bytes=1 << 20, batch_rx=batched)
+        fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 20, coalesce=batched)
+        connect(host, module.edge_port)
+        connect(module.line_port, fiber)
+        for template in (matched, foreign):
+            CbrSource(
+                sim,
+                fiber,
+                rate_bps=RATE_BPS / 2,
+                frame_len=template.wire_len,
+                stop=RUN_S,
+                factory=lambda index, size, t=template: t.copy(),
+                burst=module.batch_size if batched else 1,
+                template_burst=module.engine_config.compiled,
+            )
+        sim.run(until=RUN_S + 0.2e-3)
+        return results_of(module, host, fiber), module
+
+    reference, _ = run("reference")
+    compiled, module = run("compiled")
+    assert compiled == reference
+    counters = reference["app_counters"]
+    assert counters["untagged"]["packets"] > 0
+    assert counters["foreign_vid"]["packets"] > 0
+    stats = module.ppe.snapshot()["compiled"]
+    assert stats["recipe_frames"] > 0, stats
 
 
 def test_explicit_engine_config_carries_options():

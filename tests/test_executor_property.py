@@ -5,7 +5,9 @@ bitstream flow uses, so for ANY pipeline IR the compiled tier's accepted
 set must equal the verifier's: an application whose IR carries
 error-severity findings raises :class:`~repro.errors.CompileError` from
 the executor exactly when it raises from :func:`compile_app`, and an
-accepted application always yields a priced :class:`CompiledProgram`.
+accepted application always yields a :class:`CompiledProgram` whose
+fusion mode is exactly what the effect analysis proves and the
+application's runtime hooks engage — never a hand-written declaration.
 Hypothesis drives randomized stage lists (valid and broken alike) through
 both gates and compares the outcomes.
 """
@@ -17,6 +19,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import Severity, check_app
+from repro.analysis.effects import analyze_pipeline, fusion_engagement
+from repro.core.flowcache import FlowRecipe
 from repro.core.ppe import PPEApplication, Verdict
 from repro.core.shells import ShellSpec
 from repro.errors import CompileError
@@ -45,6 +49,10 @@ def _middle_stage(index: int, kind: StageKind, a: int, b: int) -> Stage:
         # (ResourceError), which is a pricing failure, not a verifier
         # verdict — out of scope for the accepted-set property.
         return Stage(name, kind, {"counters": max(a, 1)})
+    if kind is StageKind.METERS:
+        return Stage(name, kind, {"meters": max(a, 1)})
+    if kind is StageKind.TIMESTAMP:
+        return Stage(name, kind, {})
     return Stage(name, StageKind.FIFO, {"depth_bytes": 256 * (1 + a)})
 
 
@@ -54,6 +62,8 @@ _MIDDLE_KINDS = st.sampled_from(
         StageKind.ACTION,
         StageKind.CHECKSUM,
         StageKind.COUNTERS,
+        StageKind.METERS,
+        StageKind.TIMESTAMP,
         StageKind.FIFO,
     ]
 )
@@ -65,7 +75,9 @@ def generated_apps(draw):
 
     ``drop_parser`` / ``drop_deparser`` deliberately break the structure
     rule on a fraction of examples so the rejected side of the property
-    is exercised, not just the happy path.
+    is exercised, not just the happy path.  ``with_recipe_hooks`` /
+    ``with_burst_plan`` independently draw the runtime hooks, so every
+    combination of (analysis verdict × implemented hooks) shows up.
     """
     middles = draw(
         st.lists(st.tuples(_MIDDLE_KINDS, _COUNTER, _COUNTER), max_size=6)
@@ -82,7 +94,8 @@ def generated_apps(draw):
         stages.append(Stage("deparse", StageKind.DEPARSER, {"header_bytes": 34}))
     if not stages:
         stages = [Stage("parse", StageKind.PARSER, {"header_bytes": 34})]
-    fusible = draw(st.booleans())
+    with_recipe_hooks = draw(st.booleans())
+    with_burst_plan = draw(st.booleans())
 
     class GeneratedApp(PPEApplication):
         name = "generated"
@@ -93,9 +106,25 @@ def generated_apps(draw):
         def process(self, packet, ctx) -> Verdict:
             return Verdict.PASS
 
-        def compiled_profile(self) -> dict:
-            return {"fusible": fusible, "key_bits": 64, "rewrite_bits": 32}
+    if with_recipe_hooks:
 
+        def flow_key(self, packet):
+            return 0
+
+        def decide(self, packet, ctx):
+            return FlowRecipe(Verdict.PASS)
+
+        GeneratedApp.flow_key = flow_key
+        GeneratedApp.decide = decide
+    if with_burst_plan:
+
+        def burst_plan(self, template, direction):
+            def plan(times_ns, size):
+                return [(Verdict.PASS, len(times_ns))]
+
+            return plan
+
+        GeneratedApp.burst_plan = burst_plan
     return GeneratedApp()
 
 
@@ -122,13 +151,22 @@ def test_compile_executor_accepts_exactly_the_verified_set(app):
     assert executor_rejects == bitstream_rejects
     if executor is not None:
         program = executor.program
-        assert program.fusible == app.compiled_profile()["fusible"]
+        summary = analyze_pipeline(app.pipeline_spec())
+        # Fusion is the analysis verdict engaged by the implemented
+        # hooks; no declaration can widen (or narrow) it.
+        assert program.mode == fusion_engagement(app, summary)
+        assert program.fusible == (program.mode is not None)
+        assert program.key_bits == summary.key_bits
+        assert program.rewrite_bits == summary.rewrite_bits
+        assert program.effect_digest == summary.digest()
         if program.fusible:
-            # Fused datapath was priced into the synthesis report.
+            # Fused datapath was priced into the synthesis report with
+            # the analysis-derived widths.
             assert "fused executor" in executor.build.report.components
             assert program.resources.lut4 > 0
         else:
-            assert any("opts out" in note for note in program.notes)
+            assert "fused executor" not in executor.build.report.components
+            assert any("deopt" in note for note in program.notes)
         assert program.compile_wall_s >= 0.0
         # Same accepted IR, same shell build: the executor's report is
         # the bitstream report plus (at most) the fused component.
@@ -154,3 +192,35 @@ def test_rejected_app_never_yields_a_program():
 
     with pytest.raises(CompileError):
         compile_executor(Broken(), ShellSpec())
+
+
+def test_stale_compiled_profile_is_an_error():
+    """A surviving hand-written declaration that disagrees with the
+    derived summary rejects the build — stale contracts cannot gate."""
+
+    class Declared(PPEApplication):
+        name = "declared"
+
+        def pipeline_spec(self) -> PipelineSpec:
+            return PipelineSpec(
+                name="declared",
+                stages=[
+                    Stage("parse", StageKind.PARSER, {"header_bytes": 34}),
+                    Stage("deparse", StageKind.DEPARSER, {"header_bytes": 34}),
+                ],
+            )
+
+        def process(self, packet, ctx) -> Verdict:
+            return Verdict.PASS
+
+        def compiled_profile(self) -> dict:
+            return {"fusible": False, "key_bits": 0, "rewrite_bits": 0}
+
+    app = Declared()
+    findings = check_app(app, shell=ShellSpec())
+    assert any(f.rule == "effect-profile-mismatch" for f in findings)
+    with pytest.raises(CompileError):
+        compile_executor(app, ShellSpec())
+    # Non-strict builds survive but surface the mismatch as a note.
+    build = compile_executor(app, ShellSpec(), strict=False, verify=False)
+    assert any("effect-profile-mismatch" in n for n in build.program.notes)
