@@ -19,6 +19,7 @@ from repro.core import FlexSFPModule
 from repro.packet import make_udp
 from repro.sim import Port, Simulator, connect
 from repro.testbed import flexsfp_power_w
+from repro.nfv import Deployment
 
 KEY = b"bench-key"
 PACKETS = 50
@@ -36,7 +37,7 @@ def run_fused() -> dict:
     sim = Simulator()
     nat, firewall = make_members()
     chain = AppChain([nat, firewall], name="nat+fw")
-    module = FlexSFPModule(sim, "fused", chain, auth_key=KEY)
+    module = FlexSFPModule(sim, "fused", Deployment.solo(chain), auth_key=KEY)
     latency = _measure_latency(sim, [module])
     build = module.build
     return {
@@ -53,8 +54,8 @@ def run_fused() -> dict:
 def run_chained_modules() -> dict:
     sim = Simulator()
     nat, firewall = make_members()
-    m1 = FlexSFPModule(sim, "m1", nat, auth_key=KEY)
-    m2 = FlexSFPModule(sim, "m2", firewall, auth_key=KEY)
+    m1 = FlexSFPModule(sim, "m1", Deployment.solo(nat), auth_key=KEY)
+    m2 = FlexSFPModule(sim, "m2", Deployment.solo(firewall), auth_key=KEY)
     latency = _measure_latency(sim, [m1, m2])
     total_lut = m1.build.report.total.lut4 + m2.build.report.total.lut4
     power = sum(

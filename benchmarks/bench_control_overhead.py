@@ -21,6 +21,7 @@ from repro.hls import compile_app
 from repro.netem import CbrSource
 from repro.packet import make_udp
 from repro.sim import Port, RateMeter, Simulator, connect
+from repro.nfv import Deployment
 
 KEY = b"bench-key"
 RUN_S = 60e-3  # long enough to contain the whole OTA transfer
@@ -30,7 +31,7 @@ def compute():
     sim = Simulator()
     nat = StaticNat(capacity=256)
     nat.add_mapping("10.0.0.1", "198.51.100.1")
-    module = FlexSFPModule(sim, "dut", nat, auth_key=KEY)
+    module = FlexSFPModule(sim, "dut", Deployment.solo(nat), auth_key=KEY)
 
     # The controller shares the host-side 10G link with the data traffic.
     controller = FleetController(sim, auth_key=KEY, rate_bps=10e9)

@@ -31,6 +31,7 @@ from repro.engine import EngineConfig
 from repro.netem import CbrSource, ImixSource
 from repro.packet import make_udp
 from repro.sim import Port, RateMeter, Simulator, connect, goodput_fraction
+from repro.nfv import Deployment
 
 RUN_S = 0.3e-3
 SPEEDUP_RUN_S = 1.2e-3
@@ -92,10 +93,10 @@ def run_nat(
     nat = StaticNat(capacity=1024)
     nat.add_mapping("10.0.0.1", "198.51.100.1")
     if engine is not None:
-        module = FlexSFPModule(sim, "dut", nat, auth_key=KEY, engine=engine)
+        module = FlexSFPModule(sim, "dut", Deployment.solo(nat), auth_key=KEY, engine=engine)
     else:
         module = FlexSFPModule(
-            sim, "dut", nat, auth_key=KEY, fastpath=fastpath,
+            sim, "dut", Deployment.solo(nat), auth_key=KEY, fastpath=fastpath,
             batch_size=batch_size,
         )
     config = module.engine_config

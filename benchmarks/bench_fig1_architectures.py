@@ -18,6 +18,7 @@ from repro.hls import compile_app
 from repro.netem import CbrSource
 from repro.packet import make_udp
 from repro.sim import Port, RateMeter, Simulator, connect
+from repro.nfv import Deployment
 
 RUN_S = 0.2e-3
 FRAME = 60  # worst-case minimum frames
@@ -30,7 +31,7 @@ def run_bidirectional(shell: ShellSpec, clock_hz: float | None) -> dict:
     nat = StaticNat(capacity=1024)
     nat.add_mapping("10.0.0.1", "198.51.100.1")
     build = compile_app(nat, shell, clock_hz=clock_hz, strict=False)
-    module = FlexSFPModule(sim, "dut", nat, shell=shell, build=build, auth_key=KEY)
+    module = FlexSFPModule(sim, "dut", Deployment.solo(nat), shell=shell, build=build, auth_key=KEY)
 
     host = Port(sim, "host", 10e9, queue_bytes=1 << 22)
     fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 22)

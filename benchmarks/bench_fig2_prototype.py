@@ -25,6 +25,7 @@ from repro.core import (
 from repro.fpga import DEFAULT_FLASH_BITS, MPF200T
 from repro.hls import compile_app
 from repro.sim import Simulator
+from repro.nfv import Deployment
 
 KEY = b"bench-key"
 
@@ -32,7 +33,7 @@ KEY = b"bench-key"
 def build_prototype():
     sim = Simulator()
     nat = StaticNat()
-    module = FlexSFPModule(sim, "proto", nat, auth_key=KEY)
+    module = FlexSFPModule(sim, "proto", Deployment.solo(nat), auth_key=KEY)
     return sim, module
 
 

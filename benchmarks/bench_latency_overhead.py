@@ -26,6 +26,7 @@ from repro.core import FlexSFPModule
 from repro.packet import make_udp
 from repro.sim import Port, Simulator, connect
 from repro.switch import LegacySwitch
+from repro.nfv import Deployment
 
 KEY = b"bench-key"
 UPSTREAM_FIBER_S = 10e-6  # 2 km of fiber at 5 ns/m
@@ -41,7 +42,7 @@ def policy() -> AclFirewall:
 
 def run_in_cable() -> dict:
     sim = Simulator()
-    module = FlexSFPModule(sim, "edge", policy(), auth_key=KEY)
+    module = FlexSFPModule(sim, "edge", Deployment.solo(policy()), auth_key=KEY)
     host = Port(sim, "host", 10e9, queue_bytes=1 << 22)
     uplink = Port(sim, "uplink", 10e9)
     latencies, uplink_bytes = [], [0]
@@ -65,7 +66,7 @@ def run_upstream() -> dict:
     switch = LegacySwitch(sim, "agg", num_ports=2)
     host = Port(sim, "host", 10e9, queue_bytes=1 << 22)
     connect(host, switch.external_port(0))
-    appliance = FlexSFPModule(sim, "appliance", policy(), auth_key=KEY)
+    appliance = FlexSFPModule(sim, "appliance", Deployment.solo(policy()), auth_key=KEY)
     # The appliance's edge faces the long-haul link from the switch.
     appliance_in = switch.external_port(1)
     appliance_in.connect(appliance.edge_port, propagation_s=UPSTREAM_FIBER_S)

@@ -21,6 +21,7 @@ from repro.core import (
 from repro.packet import ARP, Ethernet, EtherType, ICMP, Packet, make_icmp_echo, make_udp
 from repro.sim import Simulator
 from repro.switch import Host
+from repro.nfv import Deployment
 
 MODULE_MAC = "02:f5:f9:00:00:01"
 MODULE_IP = "192.0.2.254"  # the cable's own address
@@ -36,7 +37,7 @@ def main() -> None:
     module = FlexSFPModule(
         sim,
         "cable0",
-        app,
+        Deployment.solo(app),
         shell=ShellSpec(kind=ShellKind.ACTIVE_CORE),
         mgmt_mac=MODULE_MAC,
     )

@@ -19,18 +19,19 @@ from repro.netem import PoissonSource
 from repro.packet import Packet, UDPPort, make_udp
 from repro.sim import PcapWriter, Simulator, connect
 from repro.switch import Host
+from repro.nfv import Deployment
 
 
 def main() -> None:
     sim = Simulator()
 
     source_mod = FlexSFPModule(
-        sim, "near-end", InbandTelemetry(role="source"), device_id=101
+        sim, "near-end", Deployment.solo(InbandTelemetry(role="source")), device_id=101
     )
     sink_mod = FlexSFPModule(
         sim,
         "far-end",
-        InbandTelemetry(role="sink", only_direction=None),
+        Deployment.solo(InbandTelemetry(role="sink", only_direction=None)),
         shell=ShellSpec(kind=ShellKind.TWO_WAY_CORE),
         device_id=202,
     )

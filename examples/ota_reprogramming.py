@@ -27,6 +27,7 @@ from repro.hls import compile_app
 from repro.netem import CbrSource
 from repro.packet import make_udp
 from repro.sim import Port, Simulator, connect
+from repro.nfv import Deployment
 
 KEY = b"fleet-orchestration-key"
 ORCHESTRATOR_MAC = "02:0c:00:00:00:01"
@@ -36,7 +37,7 @@ def main() -> None:
     sim = Simulator()
     nat = StaticNat(capacity=1024)
     nat.add_mapping("10.0.0.1", "198.51.100.1")
-    module = FlexSFPModule(sim, "edge-sfp", nat, auth_key=KEY)
+    module = FlexSFPModule(sim, "edge-sfp", Deployment.solo(nat), auth_key=KEY)
 
     host = Port(sim, "host", 10e9, queue_bytes=1 << 22)
     fiber = Port(sim, "fiber", 10e9)

@@ -15,6 +15,7 @@ from repro.core import FlexSFPModule
 from repro.netem import CbrSource
 from repro.packet import make_udp
 from repro.sim import Port, RateMeter, Simulator, connect
+from repro.nfv import Deployment
 
 RUN_S = 0.5e-3  # half a millisecond of simulated 10G traffic
 
@@ -28,7 +29,7 @@ def main() -> None:
 
     # 2. The module: building it runs the HLS-like flow (resources, timing,
     #    bitstream) and stores the golden image in the SPI flash.
-    module = FlexSFPModule(sim, "sfp0", nat)
+    module = FlexSFPModule(sim, "sfp0", Deployment.solo(nat))
     report = module.build.report
     print(f"Synthesized {report.app_name!r} for {report.device.name} "
           f"({report.timing.datapath_bits} b @ {report.timing.clock_hz / 1e6:.2f} MHz)")

@@ -14,6 +14,7 @@ from repro.core import FlexSFPModule, ShellSpec
 from repro.hls import XdpContext, XdpMap, XdpProgram, XdpVerdict, compile_app
 from repro.packet import Ethernet, IPv4, TCP, TCPFlags, make_tcp
 from repro.sim import Port, Simulator, connect
+from repro.nfv import Deployment
 
 SYN_LIMIT = 5  # max un-ACKed SYNs we tolerate per source
 
@@ -58,7 +59,7 @@ def main() -> None:
 
     # Deploy and attack.
     sim = Simulator()
-    module = FlexSFPModule(sim, "guard", program, build=build)
+    module = FlexSFPModule(sim, "guard", Deployment.solo(program), build=build)
     host = Port(sim, "host", 10e9, queue_bytes=1 << 22)
     fiber = Port(sim, "fiber", 10e9)
     delivered = []

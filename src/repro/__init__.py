@@ -14,6 +14,8 @@ reproducing the FlexSFP paper (HotNets '25):
 * :mod:`repro.apps` — the §3 use-case applications (NAT, firewall, VLAN,
   tunnels, load balancing, rate limiting, telemetry, INT, DNS filtering,
   sanitization).
+* :mod:`repro.nfv` — multi-tenant deployments: typed tenant specs,
+  crossbar steering, static feasibility pricing.
 * :mod:`repro.switch` — legacy switch + retrofit machinery.
 * :mod:`repro.netem` — workload generation and link impairments.
 * :mod:`repro.faults` — deterministic fault injection + chaos gauntlet.
@@ -24,12 +26,13 @@ Quick start::
 
     from repro.sim import Simulator, Port, connect
     from repro.core import FlexSFPModule
+    from repro.nfv import Deployment
     from repro.apps import StaticNat
 
     sim = Simulator()
     nat = StaticNat()
     nat.add_mapping("10.0.0.1", "198.51.100.1")
-    module = FlexSFPModule(sim, "sfp0", nat)
+    module = FlexSFPModule(sim, "sfp0", Deployment.solo(nat))
 """
 
 __version__ = "1.0.0"
@@ -43,6 +46,7 @@ from . import (
     fpga,
     hls,
     netem,
+    nfv,
     packet,
     sim,
     switch,
@@ -87,6 +91,7 @@ __all__ = [
     "fpga",
     "hls",
     "netem",
+    "nfv",
     "packet",
     "sim",
     "switch",

@@ -8,6 +8,9 @@ says exactly how.  Every divergence is classified:
 =================  ====================================================
 ``metric-value``   the same metric name carries different values
 ``metric-set``     a semantic metric exists on only one side
+``tenant-set``     the runs deployed different tenant sets (names,
+                   apps, steering matches, or resource shares in the
+                   ``knobs.deployment`` block)
 ``completeness``   the runs covered different shard sets (failures)
 ``timing-only``    only volatile fields differ: wall-clock timings,
                    environment fingerprints, profiler output, and
@@ -51,8 +54,9 @@ NONSEMANTIC_PREFIXES = ("sim.profile.", "fleet.supervisor.")
 # engine counters (recipe hits, deopts, compile wall time) exist only
 # when that strategy runs and measure the *strategy*, not the result.
 NONSEMANTIC_INFIXES = (".flow_cache.", ".fastpath_hits.", ".compiled.")
-# Leaf names that are configuration echoes of the execution engine.
-NONSEMANTIC_SUFFIXES = (".batch_size",)
+# Leaf names that are configuration echoes of the execution engine
+# (``.engine`` covers the per-tenant tier echo, ``<module>.tenant.<t>.engine``).
+NONSEMANTIC_SUFFIXES = (".batch_size", ".engine")
 
 # Summary keys that mirror the execution strategy rather than results.
 NONSEMANTIC_SUMMARY_KEYS = frozenset({"sim_events"})
@@ -117,6 +121,7 @@ def semantic_shard_digest(
 class DiffKind(str, Enum):
     METRIC_VALUE = "metric-value"
     METRIC_SET = "metric-set"
+    TENANT_SET = "tenant-set"
     COMPLETENESS = "completeness"
     TIMING_ONLY = "timing-only"
 
@@ -233,6 +238,57 @@ def _diff_mapping(
             entries.append(DiffEntry(kind, label, a[name], b[name]))
 
 
+def _diff_deployment(
+    knobs_a: Mapping | None, knobs_b: Mapping | None, entries: list[DiffEntry]
+) -> None:
+    """Classify divergence between two ``knobs.deployment`` blocks.
+
+    Comparing runs with different tenant *sets* is a category error, not
+    a metric drift — one ``tenant-set`` entry carries the whole verdict.
+    With the same names, per-tenant app/match/share drift is still
+    ``tenant-set`` (the workload itself changed); per-tenant *engine*
+    drift is the execution strategy and stays ``timing-only``, so the
+    cross-engine matrix contract extends to multi-tenant runs.
+    """
+    dep_a = (knobs_a or {}).get("deployment") or {}
+    dep_b = (knobs_b or {}).get("deployment") or {}
+    if not dep_a and not dep_b:
+        return
+    tenants_a = {str(t.get("name")): t for t in dep_a.get("tenants", ())}
+    tenants_b = {str(t.get("name")): t for t in dep_b.get("tenants", ())}
+    if sorted(tenants_a) != sorted(tenants_b):
+        entries.append(
+            DiffEntry(
+                DiffKind.TENANT_SET,
+                "knobs.deployment.tenants",
+                sorted(tenants_a),
+                sorted(tenants_b),
+            )
+        )
+        return
+    for name in sorted(tenants_a):
+        ta, tb = tenants_a[name], tenants_b[name]
+        for field in ("app", "match", "share"):
+            if _canonical(ta.get(field)) != _canonical(tb.get(field)):
+                entries.append(
+                    DiffEntry(
+                        DiffKind.TENANT_SET,
+                        f"knobs.deployment.tenants.{name}.{field}",
+                        ta.get(field),
+                        tb.get(field),
+                    )
+                )
+        if ta.get("engine") != tb.get("engine"):
+            entries.append(
+                DiffEntry(
+                    DiffKind.TIMING_ONLY,
+                    f"knobs.deployment.tenants.{name}.engine",
+                    ta.get("engine"),
+                    tb.get("engine"),
+                )
+            )
+
+
 def _completeness_view(block: Mapping | None) -> dict:
     """The coverage facts of a completeness block (retries excluded).
 
@@ -260,6 +316,8 @@ def diff_artifacts(a, b) -> ArtifactDiff:
     da, db = _payload(a), _payload(b)
     entries: list[DiffEntry] = []
     notes: list[str] = []
+
+    _diff_deployment(da.get("knobs"), db.get("knobs"), entries)
 
     shards_a = list(da.get("shards", ()))
     shards_b = list(db.get("shards", ()))

@@ -203,7 +203,7 @@ def _knobs_from_spec(spec_payload: Mapping, workers: int | None) -> dict:
     batch_size = spec_payload.get("batch_size") or 1
     engine = str(spec_payload.get("engine") or engine_name(batch_size))
     fastpath = bool(spec_payload.get("fastpath"))
-    return {
+    knobs = {
         "engine": engine,
         "engine_config": {
             "tier": engine,
@@ -220,6 +220,24 @@ def _knobs_from_spec(spec_payload: Mapping, workers: int | None) -> dict:
         # diffs surface analysis/IR drift even when metrics agree.
         "effect_digest": corpus_digest(),
     }
+    tenants = spec_payload.get("tenants")
+    if tenants:
+        # The resolved deployment: tenant identity and workload fields
+        # are semantic (diffed as ``tenant-set``); the per-tenant engine
+        # echoes the execution tier and diffs as ``timing-only``.
+        knobs["deployment"] = {
+            "tenants": [
+                {
+                    "name": tenant.get("name"),
+                    "app": tenant.get("app"),
+                    "match": dict(tenant.get("match") or {}),
+                    "share": tenant.get("share", 1.0),
+                    "engine": tenant.get("engine") or engine,
+                }
+                for tenant in tenants
+            ],
+        }
+    return knobs
 
 
 def artifact_from_fleet_result(

@@ -35,6 +35,7 @@ document shape for every entry point, diffable with ``flexsfp diff``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 from pathlib import Path
@@ -481,10 +482,31 @@ def cmd_check(args: argparse.Namespace) -> int:
     examples_dir = args.examples
     # Bare `flexsfp check` sweeps everything shippable: every registered
     # application plus any XDP packet functions in ./examples.
-    if not apps and not args.self_lint and examples_dir is None:
+    if not apps and not args.self_lint and examples_dir is None and not args.nfv:
         apps = sorted(APP_FACTORIES)
         if Path("examples").is_dir():
             examples_dir = "examples"
+    nfv_price = None
+    if args.nfv:
+        from .nfv import Deployment, check_deployment, price_deployment
+        from .nfv import default_nfv_tenants
+
+        if args.tenants is not None:
+            tenants = json.loads(Path(args.tenants).read_text())
+        else:
+            tenants = default_nfv_tenants()
+        deployment = Deployment.from_dicts(
+            tenants, device=get_device(args.device)
+        )
+        nfv_shell = _shell_from_args(args)
+        findings += check_deployment(
+            deployment, shell=nfv_shell, device=get_device(args.device)
+        )
+        nfv_price = price_deployment(
+            deployment, shell=nfv_shell, device=get_device(args.device)
+        )
+        names = "+".join(spec.name for spec in deployment.tenants)
+        targets.append(f"nfv:{names}")
     if args.self_lint:
         root = default_lint_root()
         findings += lint_paths([root])
@@ -536,6 +558,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     rows = [finding.as_row() for finding in findings]
     if args.json:
         extra: dict[str, object] = {}
+        if nfv_price is not None:
+            extra["nfv"] = nfv_price.describe()
         if args.effects:
             extra["effects"] = effects_report
         if args.fusibility or args.effects:
@@ -594,6 +618,16 @@ def cmd_check(args: argparse.Namespace) -> int:
                 ],
             )
             print()
+    if nfv_price is not None:
+        price = nfv_price.describe()
+        print(
+            f"nfv deployment: crossbar {price['crossbar']}, "
+            f"{'fits' if price['fits'] else 'OVERFLOWS'} "
+            f"(utilization {price['utilization']})"
+        )
+        for name, vec in price["per_tenant"].items():
+            print(f"  tenant {name}: {vec}")
+        print()
     if rows:
         _print_rows(headers, rows)
         print()
@@ -990,6 +1024,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fusibility",
         action="store_true",
         help="print the derived fusibility proof per application",
+    )
+    check.add_argument(
+        "--nfv",
+        action="store_true",
+        help="check a multi-tenant NFV deployment (crossbar + per-slot "
+        "partitions priced against the device, per-tenant line rate)",
+    )
+    check.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE",
+        help="JSON list of tenant specs for --nfv (default: the bundled "
+        "scrub + telemetry pair)",
     )
     check.add_argument("--device", default="MPF200T")
     check.add_argument("--shell", choices=sorted(_SHELLS), default="one-way-filter")

@@ -12,6 +12,7 @@ from .module import (
     TRANSCEIVER_LATENCY_S,
     WATCHDOG_TIMEOUT_S,
     FlexSFPModule,
+    TenantSlot,
 )
 from .ppe import (
     Direction,

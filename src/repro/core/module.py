@@ -30,6 +30,7 @@ from ..errors import BitstreamError, ConfigError, FlashError
 from ..fpga.bitstream import Bitstream
 from ..fpga.flash import SPIFlash
 from ..fpga.resources import FPGADevice, MPF200T
+from ..nfv import Crossbar, Deployment, check_deployment
 from ..packet import BROADCAST_MAC, Packet
 from ..sim.engine import Simulator
 from ..sim.link import Port
@@ -50,6 +51,69 @@ WATCHDOG_TIMEOUT_S = 50e-3
 DEFAULT_AUTH_KEY = b"flexsfp-mgmt-key"
 
 
+class TenantSlot:
+    """One tenant's runtime partition on a multi-tenant module.
+
+    Each slot owns its own application instance, synthesized build,
+    packet-processing engine, flow cache, and a two-slot SPI flash
+    (slot 0 = the tenant's golden image, slot 1 = staging for partial
+    reconfiguration).  The module steers ingress frames to slots through
+    the :class:`~repro.nfv.Crossbar`; a slot going dark (its partition
+    being reprogrammed) or degraded affects only frames steered to it.
+    """
+
+    def __init__(self, index: int, spec, module_name: str) -> None:
+        self.index = index
+        self.spec = spec
+        self.name = spec.name
+        base = f"{module_name}.tenant.{spec.name}"
+        self.verdict_drops = Counter(f"{base}.verdict_drops")
+        self.downtime_drops = Counter(f"{base}.downtime_drops")
+        self.degraded_forwarded = Counter(f"{base}.degraded_forwarded")
+        self.reboots = 0
+        self.failed_boots = 0
+        self.down = False
+        self.degraded = False
+        # The dark window of the latest (possibly announced) partial
+        # reconfiguration, in *virtual* time.  Ingress evaluates frames
+        # against this interval using their true wire-arrival timestamps
+        # rather than the event time a coalesced flush replays them at,
+        # so the drop/forward boundary is bit-identical across engines.
+        self.dark_from: float | None = None
+        self.dark_until: float = 0.0
+        # Populated by the module during provisioning / reconfiguration:
+        self.app: PPEApplication | None = None
+        self.config: EngineConfig | None = None
+        self.build = None
+        self.program = None
+        self.flow_cache: FlowCache | None = None
+        self.flash: SPIFlash | None = None
+        self.ppe: PacketProcessingEngine | None = None
+        self.done_edge: Callable | None = None
+        self.done_line: Callable | None = None
+
+    def boot_complete(self) -> None:
+        self.down = False
+
+    def is_dark(self, when: float) -> bool:
+        """Whether this slot's partition is being reprogrammed at ``when``."""
+        return self.dark_from is not None and (
+            self.dark_from <= when < self.dark_until
+        )
+
+    def metric_values(self) -> dict[str, object]:
+        return {
+            "app": self.app.name,
+            "share": self.spec.share,
+            "engine": self.config.tier,
+            "reboots": self.reboots,
+            "failed_boots": self.failed_boots,
+            "degraded": self.degraded,
+            "down": self.down,
+            "boot_slot": self.flash.boot_slot,
+        }
+
+
 class FlexSFPModule:
     """A programmable SFP+ module in the simulation.
 
@@ -57,8 +121,13 @@ class FlexSFPModule:
     ----------
     sim, name:
         Simulation context and a unique device name.
-    app:
-        The deployed :class:`PPEApplication`.
+    deployment:
+        A :class:`~repro.nfv.Deployment` — the ordered tenant slots this
+        module hosts (one tenant for the classic single-function cable,
+        several for multi-tenant NFV chaining with crossbar steering).
+        Passing a bare :class:`PPEApplication` here (or via the ``app=``
+        keyword) is the deprecated legacy form; it is wrapped in
+        :meth:`~repro.nfv.Deployment.solo` and warns.
     shell:
         Architecture shell (defaults to the prototype One-Way-Filter).
     device:
@@ -99,7 +168,7 @@ class FlexSFPModule:
         self,
         sim: Simulator,
         name: str,
-        app: PPEApplication,
+        deployment: "Deployment | PPEApplication | None" = None,
         shell: ShellSpec = PROTOTYPE_SHELL,
         device: FPGADevice = MPF200T,
         auth_key: bytes = DEFAULT_AUTH_KEY,
@@ -114,12 +183,38 @@ class FlexSFPModule:
         flow_cache_entries: int = DEFAULT_FLOW_CACHE_ENTRIES,
         settings: Settings | None = None,
         engine: "EngineConfig | str | None" = None,
+        app: PPEApplication | None = None,
     ) -> None:
         from ..hls.compiler import compile_app  # deferred: avoids import cycle
 
+        if app is not None:
+            if deployment is not None:
+                raise ConfigError(
+                    "pass either a deployment or the legacy app, not both"
+                )
+            warn_deprecated(
+                "FlexSFPModule(app=...)",
+                "FlexSFPModule(deployment=Deployment.solo(app))",
+            )
+            deployment = Deployment.solo(app)
+        elif deployment is None:
+            raise ConfigError("FlexSFPModule needs a Deployment")
+        elif not isinstance(deployment, Deployment):
+            # A bare application in the old positional slot.
+            warn_deprecated(
+                "FlexSFPModule(app=...)",
+                "FlexSFPModule(deployment=Deployment.solo(app))",
+            )
+            deployment = Deployment.solo(deployment)
+        if deployment.shell is not None:
+            shell = deployment.shell
+        if deployment.device is not None:
+            device = deployment.device
+
         self.sim = sim
         self.name = name
-        self.app = app
+        self.deployment = deployment
+        self._multi = deployment.multi_tenant
         self.shell = shell
         self.device = device
         self.device_id = device_id
@@ -134,36 +229,78 @@ class FlexSFPModule:
                 "pass one EngineConfig (or tier name) and let it carry the "
                 "options"
             )
+        solo_spec = deployment.tenants[0]
+        if (
+            not self._multi
+            and engine is None
+            and fastpath is None
+            and batch_size is None
+            and solo_spec.engine is not None
+        ):
+            engine = solo_spec.engine
         self.engine_config = resolve_engine(engine, fastpath, batch_size, settings)
         self.fastpath = self.engine_config.fastpath
         self.batch_size = self.engine_config.batch_size
-        self.flow_cache = (
-            FlowCache(flow_cache_entries, name=f"{name}.flow_cache")
-            if self.fastpath
-            else None
-        )
         self._flow_cache_entries = flow_cache_entries
+        self._settings = settings
 
-        self.program = None
-        if self.engine_config.compiled:
-            from ..hls.executor import compile_executor  # deferred: cycle
-
-            executor = compile_executor(
-                app, shell, device=device, flow_cache_entries=flow_cache_entries
-            )
-            self.program = executor.program
-            self.build = build if build is not None else executor.build
-        else:
-            self.build = (
-                build
-                if build is not None
-                else compile_app(
-                    app,
-                    shell,
-                    device,
-                    flow_cache_entries=flow_cache_entries if self.fastpath else None,
+        self.slots: list[TenantSlot] = []
+        self.crossbar: Crossbar | None = None
+        if self._multi:
+            if build is not None:
+                raise ConfigError(
+                    "a pre-computed build applies to single-tenant modules only"
                 )
+            from ..analysis.findings import errors as finding_errors
+
+            blocking = finding_errors(check_deployment(deployment, shell, device))
+            if blocking:
+                raise ConfigError(
+                    "infeasible deployment: "
+                    + "; ".join(f.message for f in blocking)
+                )
+            for index, spec in enumerate(deployment.tenants):
+                slot = TenantSlot(index, spec, name)
+                self._provision_slot(slot, spec.build_app())
+                self.slots.append(slot)
+            self.crossbar = Crossbar(name, deployment.tenants)
+            self.app = self.slots[0].app
+            self.flow_cache = None
+            self.program = None
+            # The module-level flash keeps the first tenant's image as the
+            # golden slot so control-plane OTA and boot metrics stay
+            # meaningful; per-tenant images live in the slot flashes.
+            self.build = self.slots[0].build
+        else:
+            app = solo_spec.build_app()
+            self.app = app
+            self.flow_cache = (
+                FlowCache(flow_cache_entries, name=f"{name}.flow_cache")
+                if self.fastpath
+                else None
             )
+            self.program = None
+            if self.engine_config.compiled:
+                from ..hls.executor import compile_executor  # deferred: cycle
+
+                executor = compile_executor(
+                    app, shell, device=device, flow_cache_entries=flow_cache_entries
+                )
+                self.program = executor.program
+                self.build = build if build is not None else executor.build
+            else:
+                self.build = (
+                    build
+                    if build is not None
+                    else compile_app(
+                        app,
+                        shell,
+                        device,
+                        flow_cache_entries=flow_cache_entries
+                        if self.fastpath
+                        else None,
+                    )
+                )
         self.flash = SPIFlash(slots=flash_slots)
         self.flash.store_bitstream(0, self.build.bitstream, allow_golden=True)
         self.flash.select_boot(0)
@@ -212,14 +349,20 @@ class FlexSFPModule:
         self.arbiter = Arbiter(name)
         self.control_plane = ControlPlane(self, auth_key)
         self.services = ServiceRegistry()
-        self.ppe = PacketProcessingEngine(
-            sim,
-            app,
-            self.build.report.timing,
-            device_id=device_id,
-            batch_size=self.batch_size,
-            flow_cache=self.flow_cache,
-            program=self.program,
+        # Multi-tenant modules run one engine per slot; the module-level
+        # engine handle stays None and every PPE touch branches on _multi.
+        self.ppe = (
+            None
+            if self._multi
+            else PacketProcessingEngine(
+                sim,
+                self.app,
+                self.build.report.timing,
+                device_id=device_id,
+                batch_size=self.batch_size,
+                flow_cache=self.flow_cache,
+                program=self.program,
+            )
         )
 
         # Optional packet tracer (duck-typed repro.obs.trace.Tracer), set
@@ -238,6 +381,86 @@ class FlexSFPModule:
         self.punted_to_cpu: list[Packet] = []
 
     # ------------------------------------------------------------------
+    # Tenant slot provisioning (multi-tenant deployments)
+    # ------------------------------------------------------------------
+    def _provision_slot(self, slot: TenantSlot, app: PPEApplication) -> None:
+        """Synthesize one tenant's partition: build, flash, engine."""
+        from ..hls.compiler import compile_app  # deferred: avoids import cycle
+
+        spec = slot.spec
+        slot.app = app
+        slot.config = (
+            resolve_engine(spec.engine, None, None, self._settings)
+            if spec.engine is not None
+            else self.engine_config
+        )
+        slot.flow_cache = (
+            FlowCache(
+                self._flow_cache_entries,
+                name=f"{self.name}.tenant.{spec.name}.flow_cache",
+            )
+            if slot.config.fastpath
+            else None
+        )
+        if slot.config.compiled:
+            from ..hls.executor import compile_executor  # deferred: cycle
+
+            executor = compile_executor(
+                app,
+                self.shell,
+                device=self.device,
+                flow_cache_entries=self._flow_cache_entries,
+            )
+            slot.program = executor.program
+            slot.build = executor.build
+        else:
+            slot.program = None
+            slot.build = compile_app(
+                app,
+                self.shell,
+                self.device,
+                flow_cache_entries=self._flow_cache_entries
+                if slot.config.fastpath
+                else None,
+            )
+        # Two per-tenant images: slot 0 is the tenant's golden fallback,
+        # slot 1 the staging area partial reconfiguration writes into.
+        slot.flash = SPIFlash(slots=2)
+        slot.flash.store_bitstream(0, slot.build.bitstream, allow_golden=True)
+        slot.flash.select_boot(0)
+        slot.ppe = PacketProcessingEngine(
+            self.sim,
+            app,
+            slot.build.report.timing,
+            device_id=self.device_id,
+            batch_size=slot.config.batch_size,
+            flow_cache=slot.flow_cache,
+            program=slot.program,
+        )
+        slot.done_edge = self._make_slot_done(slot, Direction.EDGE_TO_LINE)
+        slot.done_line = self._make_slot_done(slot, Direction.LINE_TO_EDGE)
+
+    def _make_slot_done(self, slot: TenantSlot, direction: Direction) -> Callable:
+        def done(
+            packet: Packet,
+            verdict: Verdict,
+            emitted: list[tuple[Packet, Direction]],
+        ) -> None:
+            self._ppe_done(packet, verdict, emitted, direction, slot.verdict_drops)
+
+        return done
+
+    def tenant_slot(self, name: str) -> TenantSlot:
+        """The runtime slot for tenant *name* (multi-tenant modules)."""
+        for slot in self.slots:
+            if slot.name == name:
+                return slot
+        raise ConfigError(
+            f"no tenant {name!r} on {self.name} "
+            f"(tenants: {[slot.name for slot in self.slots]})"
+        )
+
+    # ------------------------------------------------------------------
     # Ingress handling
     # ------------------------------------------------------------------
     def _on_edge_rx(self, port: Port, packet: Packet) -> None:
@@ -247,10 +470,18 @@ class FlexSFPModule:
         self._ingress(packet, Direction.LINE_TO_EDGE, reply_port=self.line_port)
 
     def _rx_flush_begin(self) -> None:
-        self.ppe.flush_begin()
+        if self._multi:
+            for slot in self.slots:
+                slot.ppe.flush_begin()
+        else:
+            self.ppe.flush_begin()
 
     def _rx_flush_end(self) -> None:
-        self.ppe.flush_end()
+        if self._multi:
+            for slot in self.slots:
+                slot.ppe.flush_end()
+        else:
+            self.ppe.flush_end()
 
     def _on_edge_rx_batch(
         self, port: Port, items: list[tuple[Packet, int, float]]
@@ -280,6 +511,15 @@ class FlexSFPModule:
             drops = self.downtime_drops
             for _packet, size, _when in items:
                 drops.count(size)
+            return
+        if self._multi:
+            # Crossbar steering is per-frame state (slot down/degraded can
+            # flip mid-flush only via scheduled events, but tenants differ
+            # frame to frame): replay through the per-frame path with each
+            # frame's stamped delivery time.
+            for packet, _size, when in items:
+                packet.meta["link_deliver_s"] = when
+                self._ingress(packet, direction, reply_port)
             return
         classify = self.arbiter.classify
         degraded = self.degraded
@@ -380,7 +620,7 @@ class FlexSFPModule:
             drops.packets += count
             drops.bytes += count * size
             return
-        if self._tracer is not None or self.degraded:
+        if self._tracer is not None or self.degraded or self._multi:
             self._ingress_batch(
                 [
                     (template.copy(), size, when)
@@ -518,6 +758,9 @@ class FlexSFPModule:
         packet.meta["flexsfp_ingress_ns"] = int(
             (self.sim.now if at_s is None else at_s) * 1e9
         )
+        if self._multi:
+            self._ingress_tenant(packet, direction, at_s, size, traced)
+            return
         if self.degraded:
             # Degraded pass-through: no PPE, both directions forward at
             # bare transceiver latency — the module is a dumb cable now.
@@ -551,6 +794,68 @@ class FlexSFPModule:
                     packet,
                     at_s + (TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S),
                 )
+
+    def _ingress_tenant(
+        self,
+        packet: Packet,
+        direction: Direction,
+        at_s: float | None,
+        size: int,
+        traced: bool,
+    ) -> None:
+        """Crossbar stage: steer one data-plane frame to its tenant slot.
+
+        Slot-local state (dark during partial reconfiguration, degraded
+        after a failed slot boot) affects only frames steered to that
+        slot — the other tenants keep forwarding, which is the whole
+        point of per-slot images.
+        """
+        if not self.shell.processes(direction):
+            # The unprocessed direction bypasses the PPE partitions (and
+            # therefore the crossbar) entirely, exactly like the
+            # single-tenant shell datapath.
+            port = self._egress_port(direction)
+            if at_s is None:
+                port.send_delayed(
+                    packet, TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S
+                )
+            else:
+                port.send_at(
+                    packet,
+                    at_s + (TRANSCEIVER_LATENCY_S + PASSTHROUGH_LATENCY_S),
+                )
+            return
+        slot = self.slots[self.crossbar.steer(packet, size)]
+        if traced:
+            when_ns = packet.meta["flexsfp_ingress_ns"]
+            self._tracer.record(
+                packet,
+                "crossbar",
+                self.name,
+                when_ns,
+                when_ns,
+                direction,
+                tenant=slot.name,
+            )
+        when = self.sim.now if at_s is None else at_s
+        if slot.is_dark(when):
+            slot.downtime_drops.count(size)
+            return
+        if slot.degraded:
+            slot.degraded_forwarded.count(size)
+            port = self._egress_port(direction)
+            if at_s is None:
+                port.send_delayed(packet, TRANSCEIVER_LATENCY_S)
+            else:
+                port.send_at(packet, at_s + TRANSCEIVER_LATENCY_S, size)
+            return
+        slot.ppe.submit(
+            packet,
+            direction,
+            slot.done_edge if direction is Direction.EDGE_TO_LINE else slot.done_line,
+            at_s=at_s,
+            size=size,
+        )
 
     # ------------------------------------------------------------------
     # Egress / verdict routing
@@ -622,6 +927,7 @@ class FlexSFPModule:
         verdict: Verdict,
         emitted: list[tuple[Packet, Direction]],
         direction: Direction,
+        drops: Counter | None = None,
     ) -> None:
         # Batched PPE execution runs this callback at the batch tail but
         # records the frame's virtual deliver time; egressing at that
@@ -676,7 +982,7 @@ class FlexSFPModule:
                 max(at, self.sim.now), self._run_services, packet, direction
             )
         else:  # DROP
-            self.verdict_drops.count(packet.wire_len)
+            (self.verdict_drops if drops is None else drops).count(packet.wire_len)
         for extra, extra_direction in emitted:
             self._egress(self._egress_port(extra_direction), extra, deliver_s)
 
@@ -748,6 +1054,17 @@ class FlexSFPModule:
             from ..apps import create_app  # deferred: avoids import cycle
 
             app_factory = create_app
+        if self._multi:
+            # A whole-module reboot reloads every tenant partition from
+            # its own boot image; the shared fabric (MACs, crossbar,
+            # softcore) goes dark for one reprogram window.
+            for slot in self.slots:
+                self._boot_tenant_slot(slot, app_factory)
+            self.control_plane.revive()
+            self.reboots += 1
+            self._down = True
+            self.sim.schedule(RECONFIG_DOWNTIME_S, self._boot_complete)
+            return
         booted = self._try_boot_slots(app_factory)
         if booted is None:
             self._enter_degraded()
@@ -810,6 +1127,159 @@ class FlexSFPModule:
                 self.failed_boots += 1
         return None
 
+    # ------------------------------------------------------------------
+    # Partial reconfiguration (per-tenant slot images)
+    # ------------------------------------------------------------------
+    def reconfigure_tenant(
+        self,
+        tenant: str,
+        app: PPEApplication | None = None,
+        bitstream: Bitstream | None = None,
+        at_s: float | None = None,
+    ) -> None:
+        """Swap one tenant's slot image while the other slots forward.
+
+        The new image (a pre-signed *bitstream*, or one synthesized here
+        from *app* at the slot's engine tier) is written to the slot's
+        staging flash and booted through the per-slot boot FSM: staging
+        first, the tenant's golden image on a corrupt or
+        unreconstructible staging image (each failure counted in the
+        slot's ``failed_boots``), degraded slot pass-through if both
+        fail.  Only the reconfigured slot goes dark for the reprogram
+        window — frames steered to it are counted in its
+        ``downtime_drops`` while every other tenant's forwarding
+        continues untouched, which is what makes this *partial*
+        reconfiguration rather than the whole-module reboot.
+
+        ``at_s`` *announces* the reconfiguration for a future virtual
+        time: the slot's dark window is registered immediately (so
+        batch-coalesced frames that arrive early in event time but carry
+        in-window timestamps are classified identically to a per-frame
+        run) and the image swap itself fires at ``at_s``.
+        """
+        if not self._multi:
+            raise ConfigError(
+                "reconfigure_tenant() needs a multi-tenant deployment; "
+                "single-tenant modules reprogram through reboot()"
+            )
+        if at_s is not None and at_s < self.sim.now:
+            raise ConfigError(
+                f"cannot announce a reconfiguration in the past "
+                f"(at_s={at_s}, now={self.sim.now})"
+            )
+        slot = self.tenant_slot(tenant)
+        if bitstream is None:
+            if app is None:
+                raise ConfigError(
+                    "reconfigure_tenant() needs a new app or bitstream"
+                )
+            from ..hls.compiler import compile_app  # deferred: cycle
+
+            if slot.config.compiled:
+                from ..hls.executor import compile_executor  # deferred: cycle
+
+                bitstream = compile_executor(
+                    app,
+                    self.shell,
+                    device=self.device,
+                    flow_cache_entries=self._flow_cache_entries,
+                ).build.bitstream
+            else:
+                bitstream = compile_app(
+                    app,
+                    self.shell,
+                    self.device,
+                    flow_cache_entries=self._flow_cache_entries
+                    if slot.config.fastpath
+                    else None,
+                ).bitstream
+        from ..apps import create_app  # deferred: avoids import cycle
+
+        start = self.sim.now if at_s is None else at_s
+        slot.dark_from = start
+        slot.dark_until = start + RECONFIG_DOWNTIME_S
+        if start > self.sim.now:
+            self.sim.schedule_at(
+                start, self._swap_tenant_slot, slot, bitstream, create_app
+            )
+        else:
+            self._swap_tenant_slot(slot, bitstream, create_app)
+
+    def _swap_tenant_slot(
+        self,
+        slot: TenantSlot,
+        bitstream: Bitstream,
+        app_factory: Callable[[str, dict], PPEApplication],
+    ) -> None:
+        slot.flash.store_bitstream(1, bitstream)
+        slot.flash.select_boot(1)
+        self._boot_tenant_slot(slot, app_factory)
+
+    def _boot_tenant_slot(
+        self,
+        slot: TenantSlot,
+        app_factory: Callable[[str, dict], PPEApplication],
+    ) -> None:
+        """Per-slot boot FSM: selected image, then the tenant's golden."""
+        # An announced reconfiguration already registered this window (at
+        # swap time ``now == dark_from``, so re-registering is idempotent);
+        # un-announced paths (module reboot, direct swaps) register here.
+        slot.dark_from = self.sim.now
+        slot.dark_until = self.sim.now + RECONFIG_DOWNTIME_S
+        booted: tuple[Bitstream, PPEApplication] | None = None
+        candidates = [slot.flash.boot_slot]
+        if slot.flash.boot_slot != 0:
+            candidates.append(0)
+        for index in candidates:
+            try:
+                bitstream = slot.flash.load_bitstream(index)
+            except (FlashError, BitstreamError):
+                slot.failed_boots += 1
+                continue
+            if bitstream.app_name == slot.app.name:
+                booted = (bitstream, slot.app)  # same application: keep state
+                break
+            try:
+                params = bitstream.metadata.get("app_params", {})
+                booted = (bitstream, app_factory(bitstream.app_name, params))
+                break
+            except ConfigError:
+                slot.failed_boots += 1
+        if booted is None:
+            # Both slot images unusable: this tenant degrades to
+            # pass-through while every other slot keeps processing.
+            slot.degraded = True
+            slot.down = True
+            self.sim.schedule(RECONFIG_DOWNTIME_S, slot.boot_complete)
+            return
+        bitstream, new_app = booted
+        slot.degraded = False
+        slot.app = new_app
+        if slot.flow_cache is not None:
+            slot.flow_cache.invalidate()
+        if slot.program is not None:
+            from ..hls.executor import compile_executor  # deferred: cycle
+
+            slot.program = compile_executor(
+                new_app,
+                self.shell,
+                device=self.device,
+                flow_cache_entries=self._flow_cache_entries,
+            ).program
+        slot.ppe = PacketProcessingEngine(
+            self.sim,
+            new_app,
+            bitstream.timing,
+            device_id=self.device_id,
+            batch_size=slot.config.batch_size,
+            flow_cache=slot.flow_cache,
+            program=slot.program,
+        )
+        slot.ppe.tracer = self._tracer
+        slot.reboots += 1
+        slot.down = True
+        self.sim.schedule(RECONFIG_DOWNTIME_S, slot.boot_complete)
+
     def _enter_degraded(self) -> None:
         """Both boot images are unusable: degrade to a dumb cable.
 
@@ -860,7 +1330,11 @@ class FlexSFPModule:
         survives reboots (the swapped-in engine inherits it).
         """
         self._tracer = tracer
-        self.ppe.tracer = tracer
+        if self._multi:
+            for slot in self.slots:
+                slot.ppe.tracer = tracer
+        else:
+            self.ppe.tracer = tracer
 
     def register_metrics(self, registry) -> None:
         """Publish every sub-component into a ``MetricsRegistry``.
@@ -872,7 +1346,27 @@ class FlexSFPModule:
         """
         name = self.name
         registry.register(name, self)
-        registry.register(f"{name}.ppe", lambda: self.ppe.metric_values())
+        if self._multi:
+            # Per-tenant isolation: every tenant's counters live under its
+            # own ``<module>.tenant.<name>.*`` subtree, with the steering
+            # decision itself observable at ``<module>.crossbar.*``.
+            registry.register(f"{name}.crossbar", self.crossbar)
+            for slot in self.slots:
+                base = f"{name}.tenant.{slot.name}"
+                registry.register(base, slot)
+                registry.register(
+                    f"{base}.ppe", (lambda s=slot: s.ppe.metric_values())
+                )
+                registry.register(
+                    f"{base}.steered", self.crossbar.steered[slot.index]
+                )
+                registry.register(f"{base}.verdict_drops", slot.verdict_drops)
+                registry.register(f"{base}.downtime_drops", slot.downtime_drops)
+                registry.register(
+                    f"{base}.degraded_forwarded", slot.degraded_forwarded
+                )
+        else:
+            registry.register(f"{name}.ppe", lambda: self.ppe.metric_values())
         registry.register(f"{name}.edge", self.edge_port)
         registry.register(f"{name}.line", self.line_port)
         if self.mgmt_port is not None:
@@ -887,7 +1381,7 @@ class FlexSFPModule:
 
     def metric_values(self) -> dict[str, object]:
         """Flat :class:`~repro.obs.registry.MetricSource` view (module level)."""
-        return {
+        values: dict[str, object] = {
             "app": self.app.name,
             "shell": self.shell.kind.value,
             "reboots": self.reboots,
@@ -898,9 +1392,61 @@ class FlexSFPModule:
             "boot_slot": self.flash.boot_slot,
             "control_fraction": self.arbiter.control_fraction(),
         }
+        if self._multi:
+            values["app"] = "+".join(
+                f"{slot.name}:{slot.app.name}" for slot in self.slots
+            )
+            values["tenants"] = len(self.slots)
+        return values
+
+    def histogram_states(self) -> dict[str, object]:
+        """Live latency histograms keyed by full metric name.
+
+        Single-tenant modules keep the historical
+        ``<module>.ppe.<app>.latency_ns`` key; multi-tenant modules
+        publish one histogram per tenant under its isolation subtree.
+        """
+        if self._multi:
+            return {
+                f"{self.name}.tenant.{slot.name}.ppe."
+                f"{slot.app.name}.latency_ns": slot.ppe.latency_ns
+                for slot in self.slots
+            }
+        return {f"{self.name}.ppe.{self.app.name}.latency_ns": self.ppe.latency_ns}
 
     def snapshot(self) -> dict[str, object]:
         """Structured counter snapshot (stable legacy dict layout)."""
+        if self._multi:
+            return {
+                "app": "+".join(
+                    f"{slot.name}:{slot.app.name}" for slot in self.slots
+                ),
+                "shell": self.shell.kind.value,
+                "tenants": {
+                    slot.name: {
+                        "app": slot.app.name,
+                        "ppe": slot.ppe.snapshot(),
+                        "steered": self.crossbar.steered[slot.index].snapshot(),
+                        "verdict_drops": slot.verdict_drops.snapshot(),
+                        "downtime_drops": slot.downtime_drops.snapshot(),
+                        "reboots": slot.reboots,
+                        "failed_boots": slot.failed_boots,
+                        "degraded": slot.degraded,
+                        "boot_slot": slot.flash.boot_slot,
+                    }
+                    for slot in self.slots
+                },
+                "verdict_drops": self.verdict_drops.snapshot(),
+                "downtime_drops": self.downtime_drops.snapshot(),
+                "control_plane": self.control_plane.snapshot(),
+                "control_fraction": self.arbiter.control_fraction(),
+                "reboots": self.reboots,
+                "failed_boots": self.failed_boots,
+                "degraded": self.degraded,
+                "degraded_forwarded": self.degraded_forwarded.snapshot(),
+                "boot_slot": self.flash.boot_slot,
+                "watchdog_reboots": self.watchdog_reboots,
+            }
         return {
             "app": self.app.name,
             "shell": self.shell.kind.value,

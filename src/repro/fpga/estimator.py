@@ -314,5 +314,36 @@ def pipeline_glue(
     )
 
 
+def crossbar(
+    ports: int,
+    datapath_bits: int = REFERENCE_WIDTH_BITS,
+    match_bits: int = 48,
+) -> ResourceVector:
+    """Crosspoint steering stage fanning one ingress out to ``ports``
+    tenant partitions (the ``repro.nfv`` multi-tenant data plane).
+
+    Two pieces: per-port steering comparators over ``match_bits`` of
+    header (UDP destination port + IPv4 destination prefix = 48 bits for
+    the deployment API's rule set), and the crosspoint muxes replicating
+    the datapath toward each partition.  Both scale linearly in the port
+    count; mux width scales sub-linearly with the bus like every other
+    byte-steering primitive here.
+    """
+    if ports <= 0:
+        raise ResourceError("crossbar needs at least one port")
+    if match_bits < 0:
+        raise ResourceError("negative match width")
+    factor = _width_factor(datapath_bits)
+    comparators = ResourceVector(
+        lut4=ports * (2 * match_bits + 120),
+        ff=ports * (match_bits + 40),
+    )
+    crosspoints = ResourceVector(
+        lut4=int(ports * datapath_bits * 6 * factor),
+        ff=int(ports * datapath_bits * 8 * factor),
+    )
+    return comparators + crosspoints
+
+
 def _align(bits: int, to: int) -> int:
     return ceil_div(bits, to) * to

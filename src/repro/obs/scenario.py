@@ -37,6 +37,7 @@ from ..engine import ENGINES, EngineConfig, resolve_engine
 from ..errors import ConfigError
 from ..fpga import get_device
 from ..netem import CbrSource
+from ..nfv import NFV_SCRUB_DPORT, Deployment, default_nfv_tenants
 from ..packet import make_udp
 from ..sim.engine import Simulator
 from ..sim.link import Port, connect
@@ -75,7 +76,16 @@ _KIND_TRAFFIC: dict[str, TrafficProfile] = {
     "nat-chain": TrafficProfile(),
     "chaos": TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=1.5),
     "fleet-upgrade": TrafficProfile(rate_bps=50e6, frame_len=512, duration_s=0.5),
+    # The NFV kinds split one module between a DDoS-scrub tenant and an
+    # INT-telemetry tenant; tenant-churn runs long enough (and slow
+    # enough) to reconfigure one slot mid-run and watch the other keep
+    # forwarding through the whole reprogram window.
+    "nfv-chain": TrafficProfile(),
+    "tenant-churn": TrafficProfile(rate_bps=20e6, frame_len=256, duration_s=0.4),
 }
+
+#: The set of kinds that accept (and resolve) a per-tenant deployment.
+NFV_KINDS = ("nfv-chain", "tenant-churn")
 
 
 @dataclass(frozen=True)
@@ -109,6 +119,10 @@ class ScenarioSpec:
     trace_packets: int | None = None
     profile: bool = False
     shards: int = 1
+    #: NFV kinds only: the tenant set as plain dicts (see
+    #: :meth:`repro.nfv.TenantSpec.from_dict`).  Empty means "resolve the
+    #: default scrub + telemetry pair"; non-NFV kinds must leave it empty.
+    tenants: tuple = ()
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -139,6 +153,14 @@ class ScenarioSpec:
                     f"unknown fault plan {self.fault_plan!r}; named plans: "
                     f"{sorted(NAMED_PLANS)}"
                 )
+        if self.tenants:
+            if self.kind not in NFV_KINDS:
+                raise ConfigError(
+                    f"tenants only apply to NFV kinds {list(NFV_KINDS)}, "
+                    f"not {self.kind!r}"
+                )
+            # Typed validation (names, matches, shares, totality).
+            Deployment.from_dicts(self.tenants)
 
     def resolved(self, settings: Settings | None = None) -> "ScenarioSpec":
         """A copy with every ``None`` knob filled in (env resolved once)."""
@@ -159,6 +181,8 @@ class ScenarioSpec:
             changes["batch_size"] = config.batch_size
         if self.kind == "chaos" and self.fault_plan is None:
             changes["fault_plan"] = "smoke"
+        if self.kind in NFV_KINDS and not self.tenants:
+            changes["tenants"] = default_nfv_tenants()
         return replace(self, **changes) if changes else self
 
     def engine_config(self, settings: Settings | None = None) -> EngineConfig:
@@ -193,6 +217,11 @@ class ScenarioSpec:
     def to_dict(self) -> dict:
         """A JSON-friendly dict (the CLI's ``--json`` spec echo)."""
         payload = asdict(self)
+        if not payload["tenants"]:
+            # Keep legacy spec payloads (and their digests) byte-identical.
+            del payload["tenants"]
+        else:
+            payload["tenants"] = [dict(t) for t in payload["tenants"]]
         return payload
 
     @classmethod
@@ -201,6 +230,9 @@ class ScenarioSpec:
         traffic = data.get("traffic")
         if isinstance(traffic, dict):
             data["traffic"] = TrafficProfile(**traffic)
+        tenants = data.get("tenants")
+        if tenants:
+            data["tenants"] = tuple(dict(t) for t in tenants)
         return cls(**data)
 
 
@@ -250,12 +282,11 @@ class ScenarioRun:
         """
         states: dict[str, dict] = {}
         for module in self.modules:
-            histogram = module.ppe.latency_ns
-            name = f"{module.name}.ppe.{module.app.name}.latency_ns"
-            states[name] = {
-                "bounds": list(histogram.bounds),
-                "counts": list(histogram.counts),
-            }
+            for name, histogram in module.histogram_states().items():
+                states[name] = {
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                }
         return states
 
     def digest(self) -> str:
@@ -310,8 +341,7 @@ def _build_nat(spec: ScenarioSpec, module_count: int) -> ScenarioRun:
         module = FlexSFPModule(
             sim,
             f"module{index}",
-            _make_app(spec, index),
-            device=device,
+            Deployment.solo(_make_app(spec, index), device=device),
             auth_key=SCENARIO_KEY,
             device_id=index,
             engine=config,
@@ -511,6 +541,180 @@ def _build_fleet_upgrade(spec: ScenarioSpec) -> ScenarioRun:
 
 
 # ----------------------------------------------------------------------
+# Multi-tenant NFV scenarios (crossbar steering + partial reconfiguration)
+# ----------------------------------------------------------------------
+def _tenant_digests(module: FlexSFPModule, metrics: dict, histograms: dict) -> dict:
+    """Per-tenant semantic digests: SHA-256 over one tenant's subtree.
+
+    Each digest covers exactly the ``<module>.tenant.<name>.*`` semantic
+    metrics plus that tenant's latency histogram — so reconfiguring one
+    tenant's slot must change *its* digest while every survivor's stays
+    byte-identical, which is the isolation guarantee ``tenant-churn``
+    asserts.
+    """
+    from ..artifact.diff import is_semantic_metric  # deferred: avoids cycle
+
+    digests: dict[str, str] = {}
+    for slot in module.slots:
+        prefix = f"{module.name}.tenant.{slot.name}."
+        payload = {
+            "metrics": {
+                name: value
+                for name, value in metrics.items()
+                if name.startswith(prefix) and is_semantic_metric(name)
+            },
+            "histograms": {
+                name: state
+                for name, state in histograms.items()
+                if name.startswith(prefix)
+            },
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        digests[slot.name] = hashlib.sha256(canonical.encode()).hexdigest()
+    return digests
+
+
+#: Virtual time at which tenant-churn reprograms its first tenant's slot.
+TENANT_CHURN_AT_S = 0.1
+#: The app the churned tenant's slot is reprogrammed to.
+TENANT_CHURN_APP = "passthrough"
+
+
+def _build_nfv(spec: ScenarioSpec, churn: bool) -> ScenarioRun:
+    """One module shared by ≥2 tenants behind the crossbar steering stage.
+
+    Offered load is a three-way CBR mix sized so every tenant sees
+    traffic: clean frames for the scrub tenant (its steering dport),
+    martian frames the scrub app must drop, and default-dport frames for
+    the catch-all tenant.  With ``churn=True`` the first tenant's slot is
+    partially reconfigured mid-run while the survivors keep forwarding.
+    """
+    traffic = spec.traffic
+    sim = Simulator()
+    registry = MetricsRegistry()
+    tracer = Tracer(limit=spec.trace_packets) if spec.trace_packets is not None else None
+    profiler = LoopProfiler() if spec.profile else None
+    if profiler is not None:
+        sim.profiler = profiler
+        registry.register("sim.profile", profiler)
+    registry.register_value("sim.events", lambda: sim.events_processed)
+
+    device = get_device(spec.device)
+    config = spec.engine_config()
+    batch_size = config.batch_size
+    deployment = Deployment.from_dicts(spec.tenants, device=device)
+    module = FlexSFPModule(
+        sim,
+        "module0",
+        deployment,
+        auth_key=SCENARIO_KEY,
+        device_id=0,
+        engine=config,
+    )
+    module.register_metrics(registry)
+    if tracer is not None:
+        module.attach_tracer(tracer)
+        registry.register("trace", tracer)
+
+    host = Port(
+        sim, "host", rate_bps=traffic.rate_bps, queue_bytes=1 << 22,
+        coalesce=batch_size > 1,
+    )
+    fiber = Port(
+        sim, "fiber", rate_bps=traffic.rate_bps, queue_bytes=1 << 22,
+        batch_rx=batch_size > 1,
+    )
+    connect(host, module.edge_port)
+    connect(module.line_port, fiber)
+    registry.register("host", host)
+    registry.register("fiber", fiber)
+
+    payload = bytes(max(0, traffic.frame_len - 42))
+    # One CBR stream cycling a five-frame tenant mix: 40% clean traffic
+    # for the scrub tenant (its steering dport), 20% martians the scrub
+    # app exists to drop, 40% default-dport frames for the catch-all
+    # tenant.  A single source keeps the wire order identical across
+    # engines (concurrent saturating sources interleave differently
+    # under coalesced transmission).  The multi-tenant module deopts
+    # fused bursts at the crossbar anyway, so the compiled tier runs
+    # without ``template_burst`` here — the per-index mix requires it.
+    templates = (
+        make_udp(src_ip="10.0.0.1", dport=NFV_SCRUB_DPORT, payload=payload),
+        make_udp(src_ip="10.0.0.2", payload=payload),
+        make_udp(src_ip="127.0.0.1", dport=NFV_SCRUB_DPORT, payload=payload),
+        make_udp(src_ip="10.0.0.1", dport=NFV_SCRUB_DPORT, payload=payload),
+        make_udp(src_ip="10.0.0.2", payload=payload),
+    )
+    CbrSource(
+        sim,
+        host,
+        rate_bps=traffic.rate_bps,
+        frame_len=traffic.frame_len,
+        stop=traffic.duration_s,
+        factory=lambda index, size: templates[index % len(templates)].copy(),
+        burst=batch_size if batch_size > 1 else 1,
+        template_burst=False,
+    )
+
+    churned = module.slots[0].name if churn else None
+    churn_at = min(TENANT_CHURN_AT_S, traffic.duration_s / 4)
+    if churn:
+        # Announced partial reconfiguration: the dark window is known up
+        # front, so batch-coalesced frames near both window boundaries
+        # classify by their true timestamps — identical in every engine.
+        module.reconfigure_tenant(
+            churned, create_app(TENANT_CHURN_APP), at_s=churn_at
+        )
+
+    # Drain tail sized to the worst-case coalescing window: at low line
+    # rates a batched host port still holds whole frame groups when the
+    # sources stop, and every engine must fully drain before the metrics
+    # cutoff for the cross-engine bit-identity contract to hold.  The
+    # tail is engine-*invariant* (a fixed frame budget, not batch_size)
+    # so all tiers observe the identical horizon.
+    drain_s = max(0.1e-3, 1024 * traffic.frame_len * 8 / traffic.rate_bps)
+    sim.run(until=traffic.duration_s + drain_s)
+
+    metrics = registry.collect()
+    histograms = {
+        name: {"bounds": list(h.bounds), "counts": list(h.counts)}
+        for name, h in module.histogram_states().items()
+    }
+    summary = {
+        "kind": spec.kind,
+        "tenants": [slot.name for slot in module.slots],
+        "delivered": fiber.rx.snapshot(),
+        "steered": {
+            slot.name: module.crossbar.steered[slot.index].snapshot()
+            for slot in module.slots
+        },
+        "tenant_digests": _tenant_digests(module, metrics, histograms),
+        "sim_events": sim.events_processed,
+    }
+    if churn:
+        slot = module.tenant_slot(churned)
+        summary["churn"] = {
+            "tenant": churned,
+            "at_s": churn_at,
+            "app_after": slot.app.name,
+            "reboots": slot.reboots,
+            "downtime_drops": slot.downtime_drops.packets,
+            "survivors": [s.name for s in module.slots if s.name != churned],
+        }
+    return ScenarioRun(
+        sim, registry, [module], tracer, profiler, spec=spec, summary=summary
+    )
+
+
+def _build_nfv_chain(spec: ScenarioSpec) -> ScenarioRun:
+    return _build_nfv(spec, churn=False)
+
+
+def _build_tenant_churn(spec: ScenarioSpec) -> ScenarioRun:
+    return _build_nfv(spec, churn=True)
+
+
+# ----------------------------------------------------------------------
 # Registry of scenario kinds + legacy entry points
 # ----------------------------------------------------------------------
 SCENARIO_KINDS: dict[str, Callable[[ScenarioSpec], ScenarioRun]] = {
@@ -518,6 +722,8 @@ SCENARIO_KINDS: dict[str, Callable[[ScenarioSpec], ScenarioRun]] = {
     "nat-chain": _build_nat_chain,
     "chaos": _build_chaos,
     "fleet-upgrade": _build_fleet_upgrade,
+    "nfv-chain": _build_nfv_chain,
+    "tenant-churn": _build_tenant_churn,
 }
 
 

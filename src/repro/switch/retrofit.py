@@ -16,6 +16,7 @@ from ..core.module import FlexSFPModule
 from ..core.shells import ShellKind, ShellSpec
 from ..engine import EngineConfig
 from ..errors import ConfigError
+from ..nfv import Deployment
 from ..sim.engine import Simulator
 from .legacy import LegacySwitch
 
@@ -106,7 +107,7 @@ def apply_retrofit(
         module = FlexSFPModule(
             sim,
             f"{switch.name}.sfp{port_index}",
-            app,
+            Deployment.solo(app),
             shell=shell,
             auth_key=auth_key,
             device_id=port_index,

@@ -16,6 +16,7 @@ from repro.hls import StageKind, compile_app
 from repro.packet import make_udp
 from repro.sim import Port, connect
 from tests.conftest import make_ctx
+from repro.nfv import Deployment
 
 
 def sample_chain():
@@ -138,7 +139,7 @@ class TestChainInModule:
             name="edge-stack",
         )
         chain.apps[1].add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "m", chain, auth_key=b"k")
+        module = FlexSFPModule(sim, "m", Deployment.solo(chain), auth_key=b"k")
         host = Port(sim, "host", 10e9)
         fiber = Port(sim, "fiber", 10e9)
         fiber_rx = []

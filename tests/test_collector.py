@@ -14,6 +14,7 @@ from repro.netem import TelemetryCollector
 from repro.packet import INTHop, UDPPort, make_udp
 from repro.sim import connect
 from repro.switch import Host
+from repro.nfv import Deployment
 
 
 def deliver(collector, payload: bytes, dport: int) -> None:
@@ -84,7 +85,7 @@ class TestEndToEnd:
         telemetry = FlowTelemetry(
             capacity=64, export_interval_ns=100_000, collector_ip="203.0.113.10"
         )
-        module = FlexSFPModule(sim, "m", telemetry)
+        module = FlexSFPModule(sim, "m", Deployment.solo(telemetry))
         sender = Host(sim, "sender")
         sender.port.connect(module.edge_port)
         collector = TelemetryCollector(sim)

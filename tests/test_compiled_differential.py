@@ -21,6 +21,7 @@ from repro.engine import EngineConfig
 from repro.netem import CbrSource, ImixSource
 from repro.packet import make_dns_query, make_tcp, make_udp, make_udp6
 from repro.sim import Port, Simulator, connect
+from repro.nfv import Deployment
 
 KEY = b"compiled-differential-key"
 RUN_S = 0.3e-3
@@ -75,7 +76,7 @@ def build_module(sim: Simulator, name: str, engine) -> tuple:
     if name == "nat":
         for src in SRC_IPS:
             app.add_mapping(src, src.replace("10.0.0.", "198.51.100."))
-    module = FlexSFPModule(sim, "dut", app, auth_key=KEY, engine=engine)
+    module = FlexSFPModule(sim, "dut", Deployment.solo(app), auth_key=KEY, engine=engine)
     batched = module.batch_size > 1
     host = Port(sim, "host", 10e9, queue_bytes=1 << 20, coalesce=batched)
     fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 20, batch_rx=batched)
@@ -227,7 +228,7 @@ def test_midrun_table_write_matches_reference():
         sim = Simulator()
         nat = StaticNat()
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "dut", nat, auth_key=KEY, engine=engine)
+        module = FlexSFPModule(sim, "dut", Deployment.solo(nat), auth_key=KEY, engine=engine)
         batched = module.batch_size > 1
         host = Port(sim, "host", 10e9, queue_bytes=1 << 22, coalesce=batched)
         fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 22, batch_rx=batched)
@@ -272,7 +273,7 @@ def test_metered_ratelimiter_burst_matches_reference():
         sim = Simulator()
         app = create_app("ratelimiter")
         app.add_limit("10.0.0.0", 8, rate_bps=1e8, burst_bytes=4_000)
-        module = FlexSFPModule(sim, "dut", app, auth_key=KEY, engine=engine)
+        module = FlexSFPModule(sim, "dut", Deployment.solo(app), auth_key=KEY, engine=engine)
         batched = module.batch_size > 1
         host = Port(sim, "host", 10e9, queue_bytes=1 << 20, coalesce=batched)
         fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 20, batch_rx=batched)
@@ -339,7 +340,7 @@ def test_vlan_untag_direction_matches_reference(service_vid):
         # the way back, so filter the line→edge direction instead.
         shell = ShellSpec(filtered_direction=Direction.LINE_TO_EDGE)
         module = FlexSFPModule(
-            sim, "dut", app, shell=shell, auth_key=KEY, engine=engine
+            sim, "dut", Deployment.solo(app), shell=shell, auth_key=KEY, engine=engine
         )
         batched = module.batch_size > 1
         host = Port(sim, "host", 10e9, queue_bytes=1 << 20, batch_rx=batched)

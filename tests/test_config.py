@@ -11,6 +11,7 @@ from repro.config import (
 )
 from repro.core import FlexSFPModule
 from repro.sim import Simulator
+from repro.nfv import Deployment
 
 
 def make_module(env, **kwargs):
@@ -20,7 +21,7 @@ def make_module(env, **kwargs):
     nat = StaticNat(capacity=16)
     nat.add_mapping("10.0.0.1", "198.51.100.1")
     return FlexSFPModule(
-        sim, "dut", nat, settings=Settings.from_env(env), **kwargs
+        sim, "dut", Deployment.solo(nat), settings=Settings.from_env(env), **kwargs
     )
 
 
@@ -152,5 +153,5 @@ class TestModuleResolution:
         sim = Simulator()
         nat = StaticNat(capacity=16)
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "dut", nat)
+        module = FlexSFPModule(sim, "dut", Deployment.solo(nat))
         assert module.batch_size == 4

@@ -16,6 +16,7 @@ from repro.core import (
     mgmt_frame,
 )
 from repro.hls import compile_app
+from repro.nfv import Deployment
 
 KEY = b"unit-test-key"
 
@@ -24,7 +25,7 @@ KEY = b"unit-test-key"
 def module(sim):
     nat = StaticNat()
     nat.add_mapping("10.0.0.1", "198.51.100.1")
-    return FlexSFPModule(sim, "dut", nat, auth_key=KEY)
+    return FlexSFPModule(sim, "dut", Deployment.solo(nat), auth_key=KEY)
 
 
 def command(module, opcode, seq, **fields) -> dict:
@@ -66,10 +67,10 @@ class TestTableOps:
 
     def test_list_key_normalized_to_tuple(self, sim):
         firewall = AclFirewall()
-        module = FlexSFPModule(sim, "fw", firewall, auth_key=KEY)
+        module = FlexSFPModule(sim, "fw", Deployment.solo(firewall), auth_key=KEY)
         # Exact tables keyed by tuples arrive as JSON lists.
         nat = StaticNat()
-        module2 = FlexSFPModule(sim, "nat2", nat, auth_key=KEY)
+        module2 = FlexSFPModule(sim, "nat2", Deployment.solo(nat), auth_key=KEY)
         reply = module2.control_plane.dispatch(
             MgmtMessage.control(MgmtOp.TABLE_ADD, 2, table="nat", key=[1, 2], value=9)
         )

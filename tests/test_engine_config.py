@@ -29,6 +29,7 @@ from repro.engine import (
 from repro.errors import ConfigError
 from repro.obs.scenario import ScenarioSpec
 from repro.sim import Simulator
+from repro.nfv import Deployment
 
 
 def make_nat() -> StaticNat:
@@ -113,20 +114,20 @@ class TestModuleConflicts:
     def test_engine_plus_legacy_knobs_rejected(self):
         with pytest.raises(ConfigError, match="conflicts with the legacy"):
             FlexSFPModule(
-                Simulator(), "dut", make_nat(), engine="reference", fastpath=True
+                Simulator(), "dut", Deployment.solo(make_nat()), engine="reference", fastpath=True
             )
 
     def test_engine_plus_batch_size_rejected(self):
         with pytest.raises(ConfigError, match="conflicts with the legacy"):
             FlexSFPModule(
-                Simulator(), "dut", make_nat(), engine="batched", batch_size=8
+                Simulator(), "dut", Deployment.solo(make_nat()), engine="batched", batch_size=8
             )
 
     def test_engine_config_carries_options(self):
         module = FlexSFPModule(
             Simulator(),
             "dut",
-            make_nat(),
+            Deployment.solo(make_nat()),
             engine=EngineConfig(tier="compiled", fastpath=True, batch_size=32),
         )
         assert module.batch_size == 32
@@ -135,7 +136,7 @@ class TestModuleConflicts:
 
     def test_legacy_knobs_still_work(self):
         module = FlexSFPModule(
-            Simulator(), "dut", make_nat(), fastpath=True, batch_size=8
+            Simulator(), "dut", Deployment.solo(make_nat()), fastpath=True, batch_size=8
         )
         assert module.engine_config == EngineConfig(
             tier="batched", fastpath=True, batch_size=8

@@ -18,6 +18,7 @@ from repro.core import FlexSFPModule
 from repro.netem import ImixSource
 from repro.packet import make_dns_query, make_tcp, make_udp, make_udp6
 from repro.sim import Port, Simulator, connect
+from repro.nfv import Deployment
 
 KEY = b"differential-key"
 RUN_S = 0.3e-3
@@ -73,7 +74,7 @@ def run_app(name: str, fastpath: bool, batch_size: int) -> tuple[dict, object]:
         for src in SRC_IPS:
             app.add_mapping(src, src.replace("10.0.0.", "198.51.100."))
     module = FlexSFPModule(
-        sim, "dut", app, auth_key=KEY, fastpath=fastpath, batch_size=batch_size
+        sim, "dut", Deployment.solo(app), auth_key=KEY, fastpath=fastpath, batch_size=batch_size
     )
     host = Port(
         sim, "host", 10e9, queue_bytes=1 << 20, coalesce=batch_size > 1
@@ -147,7 +148,7 @@ def test_midrun_table_write_matches_reference():
         nat = StaticNat()
         nat.add_mapping("10.0.0.1", "198.51.100.1")
         module = FlexSFPModule(
-            sim, "dut", nat, auth_key=KEY,
+            sim, "dut", Deployment.solo(nat), auth_key=KEY,
             fastpath=fastpath, batch_size=batch_size,
         )
         host = Port(

@@ -15,6 +15,7 @@ from repro.faults import (
     run_gauntlet,
 )
 from repro.netem import LossyWire
+from repro.nfv import Deployment
 
 KEY = b"faults-test-key"
 
@@ -80,7 +81,7 @@ class TestFaultPlan:
 class TestFaultInjector:
     def _setup(self, sim):
         wire = LossyWire(sim, "wire", rate_bps=10e9, seed=4)
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         injector = FaultInjector(sim)
         injector.register_link("wire", wire)
         injector.register_module("m", module)

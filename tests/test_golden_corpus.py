@@ -27,7 +27,7 @@ from repro.artifact import (
     artifact_from_scenario_run,
     diff_artifacts,
 )
-from repro.obs.scenario import ScenarioSpec
+from repro.obs.scenario import ScenarioSpec, TrafficProfile
 from repro.parallel.runner import run_sharded
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -75,6 +75,18 @@ GOLDEN_CASES = {
             shards=1,
             fastpath=False,
             batch_size=1,
+        )
+    ),
+    # Multi-tenant crossbar steering: pins the deployment knob block,
+    # the per-tenant metric subtrees, and the tenant_digests summary.
+    "nfv-chain_seed3_reference": lambda: _scenario_artifact(
+        ScenarioSpec(
+            kind="nfv-chain",
+            seed=3,
+            shards=1,
+            fastpath=False,
+            batch_size=1,
+            traffic=TrafficProfile(rate_bps=20e6, frame_len=256, duration_s=0.2),
         )
     ),
 }

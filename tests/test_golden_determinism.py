@@ -22,6 +22,7 @@ from repro.fpga import TimingSpec
 from repro.netem import CbrSource
 from repro.packet import make_udp
 from repro.sim import Port, Simulator, connect
+from repro.nfv import Deployment
 
 KEY = b"golden-key"
 RUN_S = 0.2e-3
@@ -42,7 +43,7 @@ def nat_linerate_stats(
     nat = StaticNat(capacity=1024)
     nat.add_mapping("10.0.0.1", "198.51.100.1")
     module = FlexSFPModule(
-        sim, "dut", nat, auth_key=KEY, fastpath=fastpath, batch_size=batch_size
+        sim, "dut", Deployment.solo(nat), auth_key=KEY, fastpath=fastpath, batch_size=batch_size
     )
     if observe is not None:
         from repro.obs import MetricsRegistry, Tracer
@@ -166,8 +167,8 @@ class TestEnqueueTimestampRegression:
 
     def test_two_chained_modules_measure_independent_latency(self):
         sim = Simulator()
-        first = FlexSFPModule(sim, "sfp-a", StaticNat(), auth_key=KEY)
-        second = FlexSFPModule(sim, "sfp-b", StaticNat(), auth_key=KEY)
+        first = FlexSFPModule(sim, "sfp-a", Deployment.solo(StaticNat()), auth_key=KEY)
+        second = FlexSFPModule(sim, "sfp-b", Deployment.solo(StaticNat()), auth_key=KEY)
         host = Port(sim, "host", 10e9, queue_bytes=1 << 20)
         fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 20)
         connect(host, first.edge_port)

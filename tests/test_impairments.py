@@ -8,6 +8,7 @@ from repro.errors import ConfigError
 from repro.netem import CbrSource, ImpairedPort
 from repro.packet import make_udp
 from repro.sim import Port, Simulator, connect
+from repro.nfv import Deployment
 
 
 class TestLoss:
@@ -97,7 +98,7 @@ class TestFlapDetectionEndToEnd:
     def test_linkhealth_sees_fiber_flap(self, sim):
         """A flapping fiber produces dead-interval events in the module."""
         monitor = LinkHealthMonitor(dead_interval_ns=500_000)
-        module = FlexSFPModule(sim, "m", monitor, auth_key=b"k")
+        module = FlexSFPModule(sim, "m", Deployment.solo(monitor), auth_key=b"k")
         tx = Port(sim, "tx", 10e9, queue_bytes=1 << 22)
         # The module's edge receives through an impaired segment.
         impaired = ImpairedPort(sim, "impaired", seed=4)

@@ -26,6 +26,7 @@ from repro.netem import CbrSource
 from repro.packet import INTShim, UDPPort, make_dns_query, make_udp
 from repro.sim import Port, RateMeter, connect
 from repro.switch import Host, LegacySwitch, PortPolicy, RetrofitPlan, apply_retrofit
+from repro.nfv import Deployment
 
 KEY = b"integration-key"
 
@@ -107,7 +108,7 @@ class TestOtaReprogramUnderTraffic:
     def test_full_lifecycle(self, sim):
         nat = StaticNat(capacity=1024)
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "m", nat, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(nat), auth_key=KEY)
         host = Port(sim, "host", 10e9, queue_bytes=1 << 22)
         fiber = Port(sim, "fiber", 10e9)
         fiber_meter = RateMeter("fiber")
@@ -179,12 +180,12 @@ class TestIntPathAcrossModules:
 
     def test_source_transit_sink(self, sim):
         source_mod = FlexSFPModule(
-            sim, "src", InbandTelemetry(role="source"), auth_key=KEY, device_id=1
+            sim, "src", Deployment.solo(InbandTelemetry(role="source")), auth_key=KEY, device_id=1
         )
         sink_mod = FlexSFPModule(
             sim,
             "sink",
-            InbandTelemetry(role="sink", only_direction=None),
+            Deployment.solo(InbandTelemetry(role="sink", only_direction=None)),
             shell=ShellSpec(kind=ShellKind.TWO_WAY_CORE),
             auth_key=KEY,
             device_id=2,
@@ -221,7 +222,7 @@ class TestLineRateNat:
     def test_nat_sustains_10g(self, sim, frame_len):
         nat = StaticNat(capacity=1024)
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "m", nat, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(nat), auth_key=KEY)
         host = Port(sim, "host", 10e9, queue_bytes=1 << 22)
         fiber = Port(sim, "fiber", 10e9)
         meter = RateMeter("fiber")
@@ -255,7 +256,7 @@ class TestServiceChaining:
     def test_nat_then_firewall(self, sim):
         nat = StaticNat(capacity=64)
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        nat_module = FlexSFPModule(sim, "nat-sfp", nat, auth_key=KEY)
+        nat_module = FlexSFPModule(sim, "nat-sfp", Deployment.solo(nat), auth_key=KEY)
 
         firewall = AclFirewall(default_action="deny")
         # Only the *translated* address is permitted upstream: the chain
@@ -263,7 +264,7 @@ class TestServiceChaining:
         from repro.apps import AclRule
 
         firewall.add_rule(AclRule("permit", src="198.51.100.1", priority=10))
-        fw_module = FlexSFPModule(sim, "fw-sfp", firewall, auth_key=KEY)
+        fw_module = FlexSFPModule(sim, "fw-sfp", Deployment.solo(firewall), auth_key=KEY)
 
         host = Port(sim, "host", 10e9, queue_bytes=1 << 20)
         upstream = Port(sim, "upstream", 10e9)
@@ -289,7 +290,7 @@ class TestServiceChaining:
         from repro.apps import create_app
 
         modules = [
-            FlexSFPModule(sim, f"m{i}", create_app("passthrough"), auth_key=KEY)
+            FlexSFPModule(sim, f"m{i}", Deployment.solo(create_app("passthrough")), auth_key=KEY)
             for i in range(2)
         ]
         host = Port(sim, "host", 10e9)

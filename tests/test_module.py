@@ -14,6 +14,7 @@ from repro.core import (
 )
 from repro.packet import make_udp
 from repro.sim import Port, connect
+from repro.nfv import Deployment
 
 KEY = b"module-test-key"
 
@@ -34,7 +35,7 @@ class TestDatapath:
     def test_nat_translates_edge_to_line(self, sim):
         nat = StaticNat()
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "m", nat, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(nat), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         host.send(make_udp(src_ip="10.0.0.1", dst_ip="8.8.8.8"))
         sim.run(until=1e-3)
@@ -43,7 +44,7 @@ class TestDatapath:
     def test_one_way_filter_reverse_is_passthrough(self, sim):
         nat = StaticNat()
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "m", nat, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(nat), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         # Reverse traffic is NOT untranslated in the one-way shell.
         fiber.send(make_udp(src_ip="8.8.8.8", dst_ip="198.51.100.1"))
@@ -55,7 +56,7 @@ class TestDatapath:
         nat = StaticNat()
         nat.add_mapping("10.0.0.1", "198.51.100.1")
         module = FlexSFPModule(
-            sim, "m", nat, shell=ShellSpec(kind=ShellKind.TWO_WAY_CORE), auth_key=KEY
+            sim, "m", Deployment.solo(nat), shell=ShellSpec(kind=ShellKind.TWO_WAY_CORE), auth_key=KEY
         )
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         fiber.send(make_udp(src_ip="8.8.8.8", dst_ip="198.51.100.1"))
@@ -65,7 +66,7 @@ class TestDatapath:
 
     def test_drop_verdict_counts(self, sim):
         firewall = AclFirewall(default_action="deny")
-        module = FlexSFPModule(sim, "m", firewall, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(firewall), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         host.send(make_udp())
         sim.run(until=1e-3)
@@ -75,7 +76,7 @@ class TestDatapath:
     def test_permitted_traffic_flows(self, sim):
         firewall = AclFirewall(default_action="deny")
         firewall.add_rule(AclRule("permit", dst="8.8.8.8", priority=10))
-        module = FlexSFPModule(sim, "m", firewall, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(firewall), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         host.send(make_udp(dst_ip="8.8.8.8"))
         host.send(make_udp(dst_ip="9.9.9.9"))
@@ -83,7 +84,7 @@ class TestDatapath:
         assert len(fiber_rx) == 1
 
     def test_module_latency_is_sub_microsecond(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         sent_at = {}
 
@@ -100,7 +101,7 @@ class TestDatapath:
 
 class TestManagementPath:
     def test_inline_mgmt_gets_reply(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         frame = mgmt_frame(
             MgmtMessage.control(MgmtOp.HELLO, 1), KEY, "02:00:00:00:00:aa", module.mgmt_mac
@@ -113,7 +114,7 @@ class TestManagementPath:
         assert not fiber_rx  # control traffic never leaks to the line
 
     def test_mgmt_does_not_consume_ppe(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         frame = mgmt_frame(
             MgmtMessage.control(MgmtOp.HELLO, 1), KEY, "02:00:00:00:00:aa", module.mgmt_mac
@@ -124,7 +125,7 @@ class TestManagementPath:
         assert module.arbiter.control_fraction() == 1.0
 
     def test_unauthenticated_mgmt_gets_no_reply(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         frame = mgmt_frame(
             MgmtMessage.control(MgmtOp.HELLO, 1),
@@ -140,7 +141,7 @@ class TestManagementPath:
         module = FlexSFPModule(
             sim,
             "m",
-            Passthrough(),
+            Deployment.solo(Passthrough()),
             shell=ShellSpec(kind=ShellKind.ACTIVE_CORE),
             auth_key=KEY,
         )
@@ -160,7 +161,7 @@ class TestManagementPath:
 
 class TestReboot:
     def test_reboot_downtime_drops_traffic(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         sim.schedule(0.0, module.reboot)
         sim.schedule(RECONFIG_DOWNTIME_S / 2, lambda: host.send(make_udp()))
@@ -170,7 +171,7 @@ class TestReboot:
         assert not fiber_rx
 
     def test_traffic_resumes_after_boot(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         sim.schedule(0.0, module.reboot)
         sim.schedule(RECONFIG_DOWNTIME_S + 1e-3, lambda: host.send(make_udp()))
@@ -182,14 +183,14 @@ class TestReboot:
     def test_same_app_reboot_keeps_state(self, sim):
         nat = StaticNat()
         nat.add_mapping("10.0.0.1", "198.51.100.1")
-        module = FlexSFPModule(sim, "m", nat, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(nat), auth_key=KEY)
         module.reboot()
         sim.run(until=1.0)
         assert module.app is nat
         assert module.app.nat_table.lookup(0x0A000001) is not None
 
     def test_jtag_load_golden(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         from repro.hls import compile_app
 
         build = compile_app(StaticNat(capacity=1024), ShellSpec())
@@ -197,7 +198,7 @@ class TestReboot:
         assert module.flash.load_bitstream(0).app_name == "nat"
 
     def test_stats_shape(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         stats = module.snapshot()
         assert stats["app"] == "passthrough"
         assert stats["shell"] == "one-way-filter"
@@ -208,7 +209,7 @@ class TestBootFallback:
         """A bitstream naming an unknown app is refused like a watchdog."""
         from repro.hls import XdpProgram, XdpVerdict, compile_app
 
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         program = XdpProgram(
             "custom-program", lambda ctx: XdpVerdict.XDP_PASS
         )
@@ -232,7 +233,7 @@ class TestShellVariants:
             kind=ShellKind.ONE_WAY_FILTER,
             filtered_direction=Direction.LINE_TO_EDGE,
         )
-        module = FlexSFPModule(sim, "m", nat, shell=shell, auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(nat), shell=shell, auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         # Upstream (edge->line) is now pass-through: no translation.
         host.send(make_udp(src_ip="10.0.0.1", dst_ip="8.8.8.8"))
@@ -247,7 +248,7 @@ class TestShellVariants:
         """Flash corruption of the app slot boots the golden image."""
         from repro.hls import compile_app
 
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         build = compile_app(StaticNat(capacity=256), ShellSpec())
         module.load_via_jtag(build.bitstream, slot=1)
         module.flash.select_boot(1)

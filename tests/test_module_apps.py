@@ -21,13 +21,14 @@ from repro.packet import (
     make_udp6,
 )
 from repro.sim import Port, connect
+from repro.nfv import Deployment
 
 KEY = b"matrix-key"
 
 
 def deploy(sim, app, shell_kind=ShellKind.ONE_WAY_FILTER):
     module = FlexSFPModule(
-        sim, "dut", app, shell=ShellSpec(kind=shell_kind), auth_key=KEY
+        sim, "dut", Deployment.solo(app), shell=ShellSpec(kind=shell_kind), auth_key=KEY
     )
     host = Port(sim, "host", 10e9, queue_bytes=1 << 20)
     fiber = Port(sim, "fiber", 10e9, queue_bytes=1 << 20)

@@ -38,6 +38,7 @@ class TestValidation:
     def test_all_kinds_registered(self):
         assert set(SCENARIO_KINDS) == {
             "nat-linerate", "nat-chain", "chaos", "fleet-upgrade",
+            "nfv-chain", "tenant-churn",
         }
 
 

@@ -17,6 +17,7 @@ from repro.errors import ControlPlaneError
 from repro.packet import ARP, ICMP, Ethernet, EtherType, Packet, make_icmp_echo, make_udp
 from repro.switch import Host
 from tests.conftest import make_ctx
+from repro.nfv import Deployment
 
 MODULE_MAC = "02:f5:f9:00:00:42"
 MODULE_IP = "192.0.2.42"
@@ -136,7 +137,7 @@ class TestMicroserviceNodeEndToEnd:
         module = FlexSFPModule(
             sim,
             "node",
-            app,
+            Deployment.solo(app),
             shell=ShellSpec(kind=ShellKind.ACTIVE_CORE),
             mgmt_mac=MODULE_MAC,
         )

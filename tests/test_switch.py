@@ -13,6 +13,7 @@ from repro.switch import (
     RetrofitPlan,
     apply_retrofit,
 )
+from repro.nfv import Deployment
 
 
 def wire_hosts(sim, switch, count):
@@ -78,7 +79,7 @@ class TestCages:
     def test_insert_flexsfp_intercepts_traffic(self, sim):
         switch = LegacySwitch(sim, "sw", num_ports=2)
         tagger = VlanTagger(access_vid=77)
-        module = FlexSFPModule(sim, "sfp", tagger)
+        module = FlexSFPModule(sim, "sfp", Deployment.solo(tagger))
         # Traffic *leaving* the switch through port 0's module gets tagged
         # toward the line... i.e. edge(asic)->line(outside).
         switch.insert_flexsfp(0, module)
@@ -93,20 +94,20 @@ class TestCages:
 
     def test_cage_occupied_rejected(self, sim):
         switch = LegacySwitch(sim, "sw", num_ports=2)
-        switch.insert_flexsfp(0, FlexSFPModule(sim, "a", VlanTagger()))
+        switch.insert_flexsfp(0, FlexSFPModule(sim, "a", Deployment.solo(VlanTagger())))
         with pytest.raises(ConfigError, match="already holds"):
-            switch.insert_flexsfp(0, FlexSFPModule(sim, "b", VlanTagger()))
+            switch.insert_flexsfp(0, FlexSFPModule(sim, "b", Deployment.solo(VlanTagger())))
 
     def test_insert_requires_unplugged(self, sim):
         switch = LegacySwitch(sim, "sw", num_ports=2)
         host = Host(sim, "h")
         host.port.connect(switch.external_port(0))
         with pytest.raises(SimulationError, match="unplug"):
-            switch.insert_flexsfp(0, FlexSFPModule(sim, "m", VlanTagger()))
+            switch.insert_flexsfp(0, FlexSFPModule(sim, "m", Deployment.solo(VlanTagger())))
 
     def test_remove_module(self, sim):
         switch = LegacySwitch(sim, "sw", num_ports=2)
-        module = FlexSFPModule(sim, "m", VlanTagger())
+        module = FlexSFPModule(sim, "m", Deployment.solo(VlanTagger()))
         switch.insert_flexsfp(0, module)
         removed = switch.cages[0].remove_module()
         assert removed is module

@@ -15,6 +15,7 @@ from repro.errors import FlashError
 from repro.hls import compile_app
 from repro.packet import make_udp
 from repro.sim import Port, connect
+from repro.nfv import Deployment
 
 KEY = b"watchdog-test-key"
 
@@ -40,7 +41,7 @@ def hello_body(module):
 class TestGoldenFallback:
     def test_corrupt_app_slot_falls_back_to_golden(self, sim):
         """Acceptance: corrupt app-slot boot → golden, zero crash."""
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         build = compile_app(AclFirewall(capacity=64), ShellSpec())
         module.load_via_jtag(build.bitstream, slot=1)
         module.flash.select_boot(1)
@@ -54,7 +55,7 @@ class TestGoldenFallback:
         assert module.reboots == 1
 
     def test_fallback_module_still_forwards(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         build = compile_app(AclFirewall(capacity=64), ShellSpec())
         module.load_via_jtag(build.bitstream, slot=1)
         module.flash.select_boot(1)
@@ -67,7 +68,7 @@ class TestGoldenFallback:
 
     def test_reboot_survives_flash_write_failure_residue(self, sim):
         """A slot left part-programmed by a failed write is a boot CRC miss."""
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         build = compile_app(AclFirewall(capacity=64), ShellSpec())
         module.flash.inject_write_failures(1)
         with pytest.raises(FlashError):
@@ -80,7 +81,7 @@ class TestGoldenFallback:
         assert not module.degraded
 
     def test_hello_reports_failed_boots(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         build = compile_app(AclFirewall(capacity=64), ShellSpec())
         module.load_via_jtag(build.bitstream, slot=1)
         module.flash.select_boot(1)
@@ -94,7 +95,7 @@ class TestGoldenFallback:
 
 class TestDegradedPassthrough:
     def _degrade(self, sim, app=None):
-        module = FlexSFPModule(sim, "m", app or StaticNat(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(app or StaticNat()), auth_key=KEY)
         module.flash.corrupt_bits(0, nbits=16, seed=5)  # golden rots
         module.reboot()
         return module
@@ -170,7 +171,7 @@ class TestDegradedPassthrough:
 
 class TestSoftcoreWatchdog:
     def test_crash_is_healed_by_watchdog_reboot(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         module.crash_softcore()
         assert not module.control_plane.responsive
         # A crashed softcore answers nothing.
@@ -189,7 +190,7 @@ class TestSoftcoreWatchdog:
         assert module.snapshot()["watchdog_reboots"] == 1
 
     def test_hang_recovers_without_reboot(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         module.hang_softcore(5e-3)
         assert not module.control_plane.responsive
         sim.run(until=10e-3)
@@ -198,7 +199,7 @@ class TestSoftcoreWatchdog:
         assert module.reboots == 0
 
     def test_watchdog_does_not_fire_after_manual_recovery(self, sim):
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         module.crash_softcore()
         module.control_plane.revive()  # e.g. an operator power-cycle won
         sim.run(until=1.0)
@@ -206,7 +207,7 @@ class TestSoftcoreWatchdog:
 
     def test_latency_stamp_not_applied_when_down(self, sim):
         """Downtime drops still counted while rebooting after a crash."""
-        module = FlexSFPModule(sim, "m", Passthrough(), auth_key=KEY)
+        module = FlexSFPModule(sim, "m", Deployment.solo(Passthrough()), auth_key=KEY)
         host, fiber, host_rx, fiber_rx = wire_module(sim, module)
         module.crash_softcore()
         sim.schedule(
